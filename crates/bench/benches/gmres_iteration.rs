@@ -1,0 +1,62 @@
+//! Criterion benchmark of full GMRES solves (one restart cycle worth of
+//! iterations) on a 2D Laplace problem, comparing the solver variants
+//! end-to-end as they run on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
+
+fn bench_one_cycle(c: &mut Criterion) {
+    let a = sparse::laplace2d_9pt(120, 120);
+    let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
+    let mut group = c.benchmark_group("gmres_one_cycle");
+    group.sample_size(10);
+    let variants: [(&str, GmresConfig); 4] = [
+        (
+            "standard_cgs2",
+            GmresConfig { restart: 60, max_restarts: 1, tol: 1e-30, ..standard_gmres_config() },
+        ),
+        (
+            "sstep_bcgs2_cholqr2",
+            GmresConfig {
+                restart: 60,
+                step_size: 5,
+                max_restarts: 1,
+                tol: 1e-30,
+                ortho: OrthoKind::Bcgs2CholQr2,
+                ..GmresConfig::default()
+            },
+        ),
+        (
+            "sstep_bcgs_pip2",
+            GmresConfig {
+                restart: 60,
+                step_size: 5,
+                max_restarts: 1,
+                tol: 1e-30,
+                ortho: OrthoKind::BcgsPip2,
+                ..GmresConfig::default()
+            },
+        ),
+        (
+            "sstep_two_stage",
+            GmresConfig {
+                restart: 60,
+                step_size: 5,
+                max_restarts: 1,
+                tol: 1e-30,
+                ortho: OrthoKind::TwoStage { big_panel: 60 },
+                ..GmresConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        let solver = SStepGmres::new(config);
+        group.bench_function(BenchmarkId::from_parameter(name), |bch| {
+            bch.iter(|| solver.solve_serial(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_cycle);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the substrate kernels: sparse matrix–vector
+//! product on the model problems and the tall-skinny GEMM family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(10);
+    let problems: Vec<(&str, sparse::Csr)> = vec![
+        ("laplace2d_5pt_300", sparse::laplace2d_5pt(300, 300)),
+        ("laplace2d_9pt_300", sparse::laplace2d_9pt(300, 300)),
+        ("laplace3d_7pt_40", sparse::laplace3d_7pt(40, 40, 40)),
+    ];
+    for (name, a) in problems {
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        group.bench_function(BenchmarkId::new("csr", name), |b| {
+            b.iter(|| a.spmv(&x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tall_skinny_gemm(c: &mut Criterion) {
+    let n = 200_000;
+    let mut group = c.benchmark_group("tall_skinny_gemm");
+    group.sample_size(10);
+    for &(k, s) in &[(5usize, 5usize), (30, 5), (60, 60)] {
+        let a = dense::Matrix::from_fn(n, k, |i, j| ((i + j) % 7) as f64 * 0.3);
+        let b = dense::Matrix::from_fn(n, s, |i, j| ((i * 3 + j) % 5) as f64 * 0.2);
+        group.bench_function(BenchmarkId::new("gemm_tn", format!("{k}x{s}")), |bch| {
+            bch.iter(|| dense::gemm_tn(&a.view(), &b.view()))
+        });
+        let r = dense::Matrix::from_fn(k, s, |i, j| if i <= j { 0.5 } else { 0.1 });
+        group.bench_function(BenchmarkId::new("gemm_update", format!("{k}x{s}")), |bch| {
+            bch.iter(|| {
+                let mut v = b.clone();
+                dense::gemm_nn_minus(&mut v.view_mut(), &a.view(), &r);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_tall_skinny_gemm);
+criterion_main!(benches);

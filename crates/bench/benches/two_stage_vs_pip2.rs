@@ -1,0 +1,53 @@
+//! Criterion benchmark comparing the block orthogonalization schemes over a
+//! full restart cycle of `m = 60` basis vectors with panels of `s = 5`
+//! (the paper's configuration), measured as wall-clock time of the actual
+//! Rust kernels on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distsim::{DistMultiVector, SerialComm};
+
+fn basis_matrix(n: usize, cols: usize) -> dense::Matrix {
+    dense::Matrix::from_fn(n, cols, |i, j| {
+        ((i * 13 + j * 7) % 19) as f64 * 0.11 + if (i + j) % 5 == 0 { 2.0 } else { 0.0 }
+    })
+}
+
+fn run_cycle(kind: blockortho::OrthoKind, v: &dense::Matrix, s: usize) {
+    let cols = v.ncols();
+    let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+    let mut r = dense::Matrix::zeros(cols, cols);
+    let mut ortho = blockortho::make_orthogonalizer(kind, cols);
+    ortho.orthogonalize_panel(&mut basis, 0..1, &mut r).unwrap();
+    let mut c = 1;
+    while c < cols {
+        let end = (c + s).min(cols);
+        ortho.orthogonalize_panel(&mut basis, c..end, &mut r).unwrap();
+        c = end;
+    }
+    ortho.finish(&mut basis, &mut r).unwrap();
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let n = 40_000;
+    let m = 60;
+    let s = 5;
+    let v = basis_matrix(n, m + 1);
+    let mut group = c.benchmark_group("ortho_cycle_m60_s5");
+    group.sample_size(10);
+    let kinds = [
+        ("bcgs2_cholqr2", blockortho::OrthoKind::Bcgs2CholQr2),
+        ("bcgs_pip2", blockortho::OrthoKind::BcgsPip2),
+        ("two_stage_bs20", blockortho::OrthoKind::TwoStage { big_panel: 20 }),
+        ("two_stage_bs60", blockortho::OrthoKind::TwoStage { big_panel: 60 }),
+        ("columnwise_cgs2", blockortho::OrthoKind::Cgs2),
+    ];
+    for (name, kind) in kinds {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_cycle(kind, &v, if kind == blockortho::OrthoKind::Cgs2 { 1 } else { s }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

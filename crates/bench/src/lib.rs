@@ -1,0 +1,120 @@
+//! # bench — experiment harness for the paper's tables and figures
+//!
+//! One binary per table/figure of the evaluation section (run with
+//! `cargo run -p bench --release --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig06` | Fig. 6 — CholQR2 orthogonality error vs. κ(V) |
+//! | `fig07` | Fig. 7 — BCGS-PIP2 condition number / error on glued matrices |
+//! | `fig08` | Fig. 8 — two-stage condition number / error on glued matrices |
+//! | `fig09` | Fig. 9 — condition growth of MPK-generated bases |
+//! | `table02` | Table II — time-to-solution vs. second step size `bs` |
+//! | `table03` | Table III — strong scaling of the four solver variants |
+//! | `fig10_12` | Figs. 10–12 — orthogonalization time breakdowns |
+//! | `table04` | Table IV — time/iteration for 3D model problems & SuiteSparse surrogates |
+//! | `fig13` | Fig. 13 — time/iteration with a Gauss–Seidel preconditioner |
+//!
+//! Every binary prints a plain-text table with the same rows/series as the
+//! paper and accepts the environment variable `REPRO_SCALE` (default
+//! `small`) — set `REPRO_SCALE=paper` to run the numerical studies at the
+//! paper's full problem sizes (slower).
+//!
+//! The Criterion benchmarks in `benches/` measure the kernels themselves
+//! (CholQR/HHQR/BCGS-PIP, SpMV/GEMM, two-stage vs. one-stage, one GMRES
+//! iteration).
+
+/// Experiment scale selected through the `REPRO_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced problem sizes (default) — minutes on a laptop.
+    Small,
+    /// The paper's problem sizes where feasible.
+    Paper,
+}
+
+/// Read the experiment scale from `REPRO_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("REPRO_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+/// Pretty-print a table: a header row followed by data rows, with columns
+/// padded to a common width.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            line.push_str(&format!("{:>width$}  ", cell, width = widths[c]));
+        }
+        line
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a number in scientific notation with two significant digits
+/// (how the paper's figures label their axes).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Format seconds with three significant digits.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a speedup factor the way the paper annotates its tables.
+pub fn speedup(baseline: f64, value: f64) -> String {
+    format!("{:.1}x", baseline / value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_small() {
+        // The test environment does not set REPRO_SCALE.
+        if std::env::var("REPRO_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn formatters_produce_expected_strings() {
+        assert_eq!(sci(0.0), "0");
+        assert!(sci(1.234e-8).contains('e'));
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(speedup(10.0, 5.0), "2.0x");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["only-one".into()]],
+        );
+    }
+}

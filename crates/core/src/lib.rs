@@ -1,0 +1,52 @@
+//! # ssgmres — standard and s-step GMRES with pluggable block orthogonalization
+//!
+//! The solver crate of the two-stage GMRES reproduction.  It implements the
+//! restarted GMRES(m) family of the paper (Fig. 1 / Fig. 5):
+//!
+//! * **standard GMRES** — step size `s = 1` with column-wise CGS2
+//!   orthogonalization (the "GMRES + CGS2" baseline of Table III);
+//! * **s-step GMRES** — a matrix-powers kernel generates `s` Krylov vectors
+//!   per outer step (monomial or Newton basis), which are then handed to one
+//!   of the block orthogonalization schemes of the [`blockortho`] crate
+//!   (BCGS2 with CholQR2, BCGS-PIP2, or the **two-stage** scheme);
+//! * right preconditioning with the local preconditioners the paper uses
+//!   (Jacobi, block-Jacobi Gauss–Seidel, multicolor Gauss–Seidel, and a
+//!   polynomial preconditioner as an extension).
+//!
+//! The solver operates on the distributed substrate of [`distsim`]
+//! (block-row [`distsim::DistCsr`] matrix, [`distsim::DistMultiVector`]
+//! Krylov basis) so every global reduction is recorded and the same code
+//! path runs single-rank or multi-rank.
+//!
+//! ```
+//! use sparse::laplace2d_5pt;
+//! use ssgmres::{GmresConfig, SStepGmres};
+//!
+//! let a = laplace2d_5pt(30, 30);
+//! let b = vec![1.0; a.nrows()];
+//! let config = GmresConfig {
+//!     restart: 30,
+//!     step_size: 5,
+//!     tol: 1e-8,
+//!     ..GmresConfig::default()
+//! };
+//! let (solution, result) = SStepGmres::new(config).solve_serial(&a, &b);
+//! assert!(result.converged);
+//! assert_eq!(solution.len(), a.nrows());
+//! ```
+
+pub mod basis;
+pub mod hessenberg;
+pub mod precond;
+pub mod solver;
+
+pub use basis::KrylovBasis;
+pub use hessenberg::HessenbergRecovery;
+pub use precond::{
+    BlockJacobiGaussSeidel, Identity, Jacobi, MulticolorGaussSeidel, Polynomial, Preconditioner,
+};
+pub use solver::{standard_gmres_config, GmresConfig, SStepGmres, SolveResult};
+
+// Re-export the orthogonalization selector so downstream users configure the
+// solver without importing blockortho directly.
+pub use blockortho::OrthoKind;

@@ -1,0 +1,433 @@
+//! Local (communication-free) preconditioners.
+//!
+//! The paper applies the preconditioner inside the matrix-powers kernel,
+//! "with neighborhood communication and preconditioner in sequence", and in
+//! Fig. 13 uses a local Gauss–Seidel preconditioner — block Jacobi across
+//! ranks with (multicolor) Gauss–Seidel sweeps inside each rank's diagonal
+//! block.  All preconditioners here therefore act on the *local* part of a
+//! vector only and never communicate, exactly like their Trilinos/Ifpack2
+//! counterparts in the paper's runs.
+
+use sparse::{greedy_coloring, Coloring, Csr};
+
+/// A right preconditioner `M⁻¹` applied to local vectors.
+pub trait Preconditioner: Send + Sync {
+    /// `out = M⁻¹·input` (both are local blocks of global vectors).
+    fn apply(&self, input: &[f64], out: &mut [f64]);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The identity preconditioner (unpreconditioned GMRES).
+#[derive(Debug, Default)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn apply(&self, input: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(input);
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Jacobi (diagonal scaling) preconditioner.
+#[derive(Debug)]
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Build from the local diagonal block (zero diagonal entries are treated
+    /// as ones so the preconditioner never divides by zero).
+    pub fn new(local: &Csr) -> Self {
+        let inv_diag = local
+            .diagonal()
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self { inv_diag }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    fn apply(&self, input: &[f64], out: &mut [f64]) {
+        assert_eq!(input.len(), self.inv_diag.len(), "Jacobi: length mismatch");
+        for ((o, x), d) in out.iter_mut().zip(input).zip(&self.inv_diag) {
+            *o = x * d;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+/// Block-Jacobi across ranks with (sequential) Gauss–Seidel sweeps inside the
+/// local diagonal block.
+#[derive(Debug)]
+pub struct BlockJacobiGaussSeidel {
+    /// Local diagonal block, restricted to locally owned columns.
+    local: Csr,
+    inv_diag: Vec<f64>,
+    sweeps: usize,
+}
+
+impl BlockJacobiGaussSeidel {
+    /// Build from the rank's local matrix (columns outside `0..local_rows`
+    /// — i.e. ghost couplings — are ignored, which is exactly the block-
+    /// Jacobi approximation).  `sweeps` forward Gauss–Seidel sweeps are
+    /// applied per preconditioner application.
+    pub fn new(local: &Csr, sweeps: usize) -> Self {
+        assert!(sweeps >= 1, "need at least one sweep");
+        let n = local.nrows();
+        // Drop couplings to ghost columns.
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = local.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < n {
+                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                }
+            }
+        }
+        let local_block = Csr::from_triplets(n, n, &triplets);
+        let inv_diag = local_block
+            .diagonal()
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self {
+            local: local_block,
+            inv_diag,
+            sweeps,
+        }
+    }
+}
+
+impl Preconditioner for BlockJacobiGaussSeidel {
+    fn apply(&self, input: &[f64], out: &mut [f64]) {
+        let n = self.local.nrows();
+        assert_eq!(input.len(), n, "GS: length mismatch");
+        // Solve M·out = input approximately with forward GS sweeps starting
+        // from zero.
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        for _ in 0..self.sweeps {
+            for i in 0..n {
+                let (cols, vals) = self.local.row(i);
+                let mut acc = input[i];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if c != i {
+                        acc -= v * out[c];
+                    }
+                }
+                out[i] = acc * self.inv_diag[i];
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "block-jacobi gauss-seidel"
+    }
+}
+
+/// Multicolor Gauss–Seidel: rows of the same color are updated together
+/// (in parallel on a GPU; here the colors primarily reproduce the iteration
+/// order and operation count of the Kokkos-Kernels smoother used in
+/// Fig. 13).
+#[derive(Debug)]
+pub struct MulticolorGaussSeidel {
+    local: Csr,
+    coloring: Coloring,
+    inv_diag: Vec<f64>,
+    sweeps: usize,
+}
+
+impl MulticolorGaussSeidel {
+    /// Build from the rank's local matrix; ghost couplings are dropped as in
+    /// [`BlockJacobiGaussSeidel`].
+    pub fn new(local: &Csr, sweeps: usize) -> Self {
+        assert!(sweeps >= 1, "need at least one sweep");
+        let n = local.nrows();
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = local.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < n {
+                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                }
+            }
+        }
+        let local_block = Csr::from_triplets(n, n, &triplets);
+        let coloring = greedy_coloring(&local_block);
+        let inv_diag = local_block
+            .diagonal()
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self {
+            local: local_block,
+            coloring,
+            inv_diag,
+            sweeps,
+        }
+    }
+
+    /// Number of colors the local block required.
+    pub fn num_colors(&self) -> usize {
+        self.coloring.num_colors()
+    }
+}
+
+impl Preconditioner for MulticolorGaussSeidel {
+    fn apply(&self, input: &[f64], out: &mut [f64]) {
+        let n = self.local.nrows();
+        assert_eq!(input.len(), n, "multicolor GS: length mismatch");
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        for _ in 0..self.sweeps {
+            for color_rows in &self.coloring.rows_by_color {
+                // All rows of one color are independent; update them from the
+                // current state of `out`.
+                for &i in color_rows {
+                    let (cols, vals) = self.local.row(i);
+                    let mut acc = input[i];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c != i {
+                            acc -= v * out[c];
+                        }
+                    }
+                    out[i] = acc * self.inv_diag[i];
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "multicolor gauss-seidel"
+    }
+}
+
+/// Polynomial (damped Neumann series) preconditioner
+/// `M⁻¹ ≈ ω·Σ_{k<degree} (I − ω·D⁻¹·A)^k·D⁻¹` — a communication-free
+/// preconditioner sometimes paired with s-step methods; provided as an
+/// extension beyond the paper's evaluation.
+#[derive(Debug)]
+pub struct Polynomial {
+    local: Csr,
+    inv_diag: Vec<f64>,
+    degree: usize,
+    omega: f64,
+}
+
+impl Polynomial {
+    /// Build with the given polynomial degree and damping factor `omega`.
+    pub fn new(local: &Csr, degree: usize, omega: f64) -> Self {
+        assert!(degree >= 1, "polynomial degree must be at least 1");
+        let n = local.nrows();
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = local.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < n {
+                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                }
+            }
+        }
+        let local_block = Csr::from_triplets(n, n, &triplets);
+        let inv_diag = local_block
+            .diagonal()
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        Self {
+            local: local_block,
+            inv_diag,
+            degree,
+            omega,
+        }
+    }
+}
+
+impl Preconditioner for Polynomial {
+    fn apply(&self, input: &[f64], out: &mut [f64]) {
+        let n = self.local.nrows();
+        assert_eq!(input.len(), n, "polynomial: length mismatch");
+        // out = omega * sum_k (I - omega D^-1 A)^k D^-1 input, computed with
+        // the iteration x_{k+1} = x_k + omega D^-1 (input - A x_k).
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        let mut ax = vec![0.0; n];
+        for _ in 0..self.degree {
+            self.local.spmv(out, &mut ax);
+            for i in 0..n {
+                out[i] += self.omega * self.inv_diag[i] * (input[i] - ax[i]);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "polynomial (damped Neumann)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::laplace2d_5pt;
+
+    fn residual_norm(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.spmv_alloc(x);
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn identity_copies_input() {
+        let p = Identity;
+        let x = vec![1.0, -2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        p.apply(&x, &mut y);
+        assert_eq!(x, y);
+        assert_eq!(p.name(), "identity");
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let a = laplace2d_5pt(4, 4);
+        let p = Jacobi::new(&a);
+        let x = vec![4.0; 16];
+        let mut y = vec![0.0; 16];
+        p.apply(&x, &mut y);
+        assert!(y.iter().all(|&v| (v - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn gauss_seidel_reduces_residual_better_than_jacobi() {
+        let a = laplace2d_5pt(10, 10);
+        let b = vec![1.0; 100];
+        let gs = BlockJacobiGaussSeidel::new(&a, 2);
+        let jac = Jacobi::new(&a);
+        let mut x_gs = vec![0.0; 100];
+        let mut x_j = vec![0.0; 100];
+        gs.apply(&b, &mut x_gs);
+        jac.apply(&b, &mut x_j);
+        assert!(residual_norm(&a, &x_gs, &b) < residual_norm(&a, &x_j, &b));
+    }
+
+    #[test]
+    fn more_gs_sweeps_reduce_residual_further() {
+        let a = laplace2d_5pt(8, 8);
+        let b: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 * 0.1).collect();
+        let mut prev = f64::INFINITY;
+        for sweeps in [1, 2, 4, 8] {
+            let gs = BlockJacobiGaussSeidel::new(&a, sweeps);
+            let mut x = vec![0.0; 64];
+            gs.apply(&b, &mut x);
+            let r = residual_norm(&a, &x, &b);
+            assert!(r < prev, "sweeps {sweeps}: {r} >= {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn multicolor_gs_is_gauss_seidel_in_color_order() {
+        // Multicolor Gauss–Seidel is exactly Gauss–Seidel with the rows
+        // visited color by color; verify against a straightforward reference
+        // sweep in that ordering.
+        let a = laplace2d_5pt(12, 12);
+        let b: Vec<f64> = (0..144).map(|i| ((i * 5) % 11) as f64 * 0.2 - 1.0).collect();
+        let mc = MulticolorGaussSeidel::new(&a, 2);
+        assert_eq!(mc.num_colors(), 2);
+        let mut x_mc = vec![0.0; 144];
+        mc.apply(&b, &mut x_mc);
+        // Reference: same sweeps, same visiting order, naive implementation.
+        let coloring = sparse::greedy_coloring(&a);
+        let diag = a.diagonal();
+        let mut x_ref = vec![0.0; 144];
+        for _ in 0..2 {
+            for rows in &coloring.rows_by_color {
+                for &i in rows {
+                    let (cols, vals) = a.row(i);
+                    let mut acc = b[i];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c != i {
+                            acc -= v * x_ref[c];
+                        }
+                    }
+                    x_ref[i] = acc / diag[i];
+                }
+            }
+        }
+        for (p, q) in x_mc.iter().zip(&x_ref) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_error_contracts_in_energy_norm() {
+        // Gauss–Seidel is convergent in the A-norm for SPD matrices: the
+        // error after more sweeps must be smaller in the energy norm.
+        let a = laplace2d_5pt(10, 10);
+        let x_exact: Vec<f64> = (0..100).map(|i| ((i * 3) % 7) as f64 * 0.5 - 1.0).collect();
+        let b = a.spmv_alloc(&x_exact);
+        let energy = |x: &[f64]| {
+            let e: Vec<f64> = x.iter().zip(&x_exact).map(|(p, q)| p - q).collect();
+            let ae = a.spmv_alloc(&e);
+            e.iter().zip(&ae).map(|(p, q)| p * q).sum::<f64>().sqrt()
+        };
+        let mut prev = f64::INFINITY;
+        for sweeps in [1usize, 2, 4, 8] {
+            let mc = MulticolorGaussSeidel::new(&a, sweeps);
+            let mut x = vec![0.0; 100];
+            mc.apply(&b, &mut x);
+            let e = energy(&x);
+            assert!(e < prev, "sweeps {sweeps}: energy error {e} >= {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn polynomial_preconditioner_improves_with_degree() {
+        let a = laplace2d_5pt(8, 8);
+        let b = vec![1.0; 64];
+        let mut prev = f64::INFINITY;
+        for degree in [1, 3, 6] {
+            let p = Polynomial::new(&a, degree, 0.8);
+            let mut x = vec![0.0; 64];
+            p.apply(&b, &mut x);
+            let r = residual_norm(&a, &x, &b);
+            assert!(r < prev, "degree {degree}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn ghost_couplings_are_ignored() {
+        // A local block whose rows reference ghost columns (index >= nrows):
+        // the preconditioners must drop them rather than panic.
+        let local = Csr::from_triplets(
+            2,
+            4,
+            &[
+                sparse::Triplet { row: 0, col: 0, val: 2.0 },
+                sparse::Triplet { row: 0, col: 3, val: -1.0 }, // ghost
+                sparse::Triplet { row: 1, col: 1, val: 2.0 },
+                sparse::Triplet { row: 1, col: 2, val: -1.0 }, // ghost
+            ],
+        );
+        let gs = BlockJacobiGaussSeidel::new(&local, 1);
+        let mut out = vec![0.0; 2];
+        gs.apply(&[2.0, 4.0], &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cholesky factorization of (small) symmetric positive-definite matrices.
+//!
+//! CholQR computes the Cholesky factor of the Gram matrix `G = VᵀV`; the
+//! factorization failing (a non-positive pivot) is exactly the numerical
+//! breakdown condition the paper discusses (condition (1)): it happens when
+//! `κ(V)` exceeds roughly `1/√ε`.  The shifted variant implements the
+//! remedy of Fukaya et al. referenced in the related-work section.
+
+use crate::matrix::Matrix;
+
+/// Error returned when a Cholesky factorization breaks down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CholeskyError {
+    /// Index of the pivot that was not positive.
+    pub pivot: usize,
+    /// Value of the failing pivot.
+    pub value: f64,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Cholesky breakdown at pivot {} (value {:.3e}); the Gram matrix is not numerically positive definite",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Upper-triangular Cholesky factor `R` with `RᵀR = G`.
+///
+/// `G` must be symmetric; only its upper triangle is read.  The returned `R`
+/// has strictly positive diagonal entries.  Fails with [`CholeskyError`] if a
+/// pivot is not strictly positive (i.e. `G` is not numerically SPD).
+pub fn cholesky_upper(g: &Matrix) -> Result<Matrix, CholeskyError> {
+    let n = g.nrows();
+    assert_eq!(g.ncols(), n, "cholesky_upper: matrix must be square");
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = g[(j, j)];
+        for k in 0..j {
+            d -= r[(k, j)] * r[(k, j)];
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(CholeskyError { pivot: j, value: d });
+        }
+        let djj = d.sqrt();
+        r[(j, j)] = djj;
+        // Off-diagonal entries of row j (columns j+1..n of R).
+        for i in (j + 1)..n {
+            let mut v = g[(j, i)];
+            for k in 0..j {
+                v -= r[(k, j)] * r[(k, i)];
+            }
+            r[(j, i)] = v / djj;
+        }
+    }
+    Ok(r)
+}
+
+/// Shifted Cholesky factorization: factorizes `G + shift·I` where the shift
+/// is chosen as `c·ε·‖G‖` (Fukaya et al., SISC 2020) so that the
+/// factorization succeeds for any numerically full-rank input, at the price
+/// of a slightly less orthogonal `Q` (which a reorthogonalization pass then
+/// repairs).
+///
+/// Returns the factor and the shift that was applied.
+pub fn shifted_cholesky_upper(g: &Matrix, n_global_rows: usize) -> Result<(Matrix, f64), CholeskyError> {
+    let s = g.nrows();
+    // Shift suggested by the shifted-CholQR analysis: 11 (n·s + s(s+1)) ε ‖G‖₂.
+    // We use the (cheap, slightly larger) Frobenius norm as the norm estimate.
+    let norm = crate::measure::frobenius_norm(g);
+    let shift = 11.0 * ((n_global_rows * s + s * (s + 1)) as f64) * f64::EPSILON * norm;
+    let mut shifted = g.clone();
+    for j in 0..s {
+        shifted[(j, j)] += shift;
+    }
+    match cholesky_upper(&shifted) {
+        Ok(r) => Ok((r, shift)),
+        Err(_) => {
+            // Escalate the shift once (covers pathologically scaled inputs).
+            let bigger = shift.max(f64::EPSILON * norm) * 1e3 + f64::MIN_POSITIVE;
+            let mut shifted2 = g.clone();
+            for j in 0..s {
+                shifted2[(j, j)] += bigger;
+            }
+            cholesky_upper(&shifted2).map(|r| (r, bigger))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_nn;
+
+    fn spd_matrix(n: usize) -> Matrix {
+        // A = BᵀB + n·I is SPD.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 11) as f64 * 0.1 - 0.3);
+        let mut a = gemm_nn(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let g = spd_matrix(6);
+        let r = cholesky_upper(&g).unwrap();
+        let back = gemm_nn(&r.transpose(), &r);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((back[(i, j)] - g[(i, j)]).abs() < 1e-10 * g.max_abs());
+            }
+            assert!(r[(i, i)] > 0.0);
+        }
+        // R is upper triangular.
+        for i in 1..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let r = cholesky_upper(&Matrix::identity(4)).unwrap();
+        assert_eq!(r, Matrix::identity(4));
+    }
+
+    #[test]
+    fn indefinite_matrix_fails() {
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = cholesky_upper(&g).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value <= 0.0);
+        assert!(err.to_string().contains("breakdown"));
+    }
+
+    #[test]
+    fn zero_matrix_fails_at_first_pivot() {
+        let err = cholesky_upper(&Matrix::zeros(3, 3)).unwrap_err();
+        assert_eq!(err.pivot, 0);
+    }
+
+    #[test]
+    fn shifted_cholesky_succeeds_on_near_singular_gram() {
+        // Gram matrix of two nearly parallel vectors: regular Cholesky may
+        // succeed or fail depending on rounding; with an explicit zero
+        // eigenvalue it must fail, the shifted version must succeed.
+        let g = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(cholesky_upper(&g).is_err());
+        let (r, shift) = shifted_cholesky_upper(&g, 1000).unwrap();
+        assert!(shift > 0.0);
+        assert!(r[(0, 0)] > 0.0 && r[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn shifted_cholesky_barely_perturbs_well_conditioned_input() {
+        let g = spd_matrix(5);
+        let r_plain = cholesky_upper(&g).unwrap();
+        let (r_shift, shift) = shifted_cholesky_upper(&g, 100).unwrap();
+        assert!(shift < 1e-8 * g.max_abs());
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((r_plain[(i, j)] - r_shift[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # dense — column-major dense linear algebra kernels
+//!
+//! The BLAS/LAPACK subset required by the block-orthogonalization schemes of
+//! the paper *"Two-Stage Block Orthogonalization to Improve Performance of
+//! s-step GMRES"* (IPDPS 2024), implemented from scratch:
+//!
+//! * a column-major [`Matrix`] type with cheap column-block views
+//!   ([`MatView`], [`MatViewMut`]) — the natural layout for the tall-skinny
+//!   "multivector" panels `V_j ∈ R^{n×(s+1)}` the solver manipulates;
+//! * level-1 kernels (dot, nrm2, axpy, scal) in [`blas1`];
+//! * the level-3 kernels the orthogonalization needs (`Gram = VᵀV`,
+//!   `C = AᵀB`, the block vector update `V ← V − Q·R`, and the triangular
+//!   normalization `Q ← V·R⁻¹`) in [`blas3`], parallelized over row chunks
+//!   with [`parkit`];
+//! * Cholesky factorization (plain and shifted) in [`chol`];
+//! * Householder QR for tall-skinny panels in [`qr`];
+//! * a cyclic Jacobi symmetric eigensolver in [`eig`] used to measure
+//!   condition numbers and orthogonality errors exactly as the paper's
+//!   MATLAB experiments do;
+//! * small upper-triangular utilities in [`tri`] and Givens/least-squares
+//!   helpers for the Hessenberg solve in [`lsq`].
+//!
+//! Everything is `f64`; the mixed-precision (double-double) Gram
+//! accumulation lives in the `blockortho` crate where it is used.
+
+pub mod blas1;
+pub mod blas3;
+pub mod chol;
+pub mod eig;
+pub mod lsq;
+pub mod matrix;
+pub mod measure;
+pub mod qr;
+pub mod svd;
+pub mod tri;
+
+pub use blas1::{axpy, dot, nrm2, scal};
+pub use blas3::{gemm_nn, gemm_nn_minus, gemm_small, gemm_tn, gemv_plus, gram, trsm_right_upper};
+pub use chol::{cholesky_upper, shifted_cholesky_upper, CholeskyError};
+pub use eig::{sym_eig_jacobi, sym_eigvals};
+pub use lsq::{givens_rotation, hessenberg_lsq, qr_lsq};
+pub use matrix::{MatView, MatViewMut, Matrix};
+pub use measure::{cond_2, frobenius_norm, orthogonality_error, singular_values, spectral_norm_sym};
+pub use svd::svdvals_jacobi;
+pub use qr::householder_qr;
+pub use tri::{tri_inverse_upper, tri_matmul_upper, tri_solve_upper, tri_solve_upper_transpose};
+
+/// Machine epsilon for `f64`, exposed for readability in stability bounds.
+pub const EPS: f64 = f64::EPSILON;

@@ -1,0 +1,204 @@
+//! Small least-squares solvers for the GMRES projected problem.
+//!
+//! Every GMRES restart cycle ends with the minimization
+//! `ŷ = argmin_y ‖γ e₁ − H_{1:m+1,1:m} y‖₂` over the (m+1)×m upper-Hessenberg
+//! matrix (Fig. 1, Line 16 of the paper).  The standard approach — applied
+//! redundantly on every rank since `H` is tiny — is a QR factorization of
+//! `H` by Givens rotations.  A general dense QR least-squares solver is also
+//! provided for the s-step variant where the projected matrix is formed as
+//! `H = R T R⁻¹` and need not be exactly Hessenberg in finite precision.
+
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+use crate::tri::tri_solve_upper;
+
+/// Compute the Givens rotation `(c, s)` such that
+/// `[c s; -s c]ᵀ [a; b] = [r; 0]` with `r ≥ 0`.
+pub fn givens_rotation(a: f64, b: f64) -> (f64, f64, f64) {
+    if b == 0.0 {
+        if a >= 0.0 {
+            (1.0, 0.0, a)
+        } else {
+            (-1.0, 0.0, -a)
+        }
+    } else if a == 0.0 {
+        if b >= 0.0 {
+            (0.0, 1.0, b)
+        } else {
+            (0.0, -1.0, -b)
+        }
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r, r)
+    }
+}
+
+/// Solve the Hessenberg least-squares problem
+/// `min_y ‖beta·e₁ − H y‖₂` where `H` is `(k+1)×k` upper Hessenberg.
+///
+/// Returns `(y, residual_norm)`.  This is the standard GMRES update; the
+/// residual norm equals the absolute value of the last entry of the rotated
+/// right-hand side, which GMRES uses as its convergence estimate without
+/// forming the residual vector.
+pub fn hessenberg_lsq(h: &Matrix, beta: f64) -> (Vec<f64>, f64) {
+    let k = h.ncols();
+    assert_eq!(h.nrows(), k + 1, "hessenberg_lsq: H must be (k+1) x k");
+    let mut r = h.clone();
+    let mut g = vec![0.0; k + 1];
+    g[0] = beta;
+    // Reduce H to upper-triangular form with Givens rotations applied to g.
+    for j in 0..k {
+        let (c, s, rho) = givens_rotation(r[(j, j)], r[(j + 1, j)]);
+        r[(j, j)] = rho;
+        r[(j + 1, j)] = 0.0;
+        for col in (j + 1)..k {
+            let a = r[(j, col)];
+            let b = r[(j + 1, col)];
+            r[(j, col)] = c * a + s * b;
+            r[(j + 1, col)] = -s * a + c * b;
+        }
+        let ga = g[j];
+        let gb = g[j + 1];
+        g[j] = c * ga + s * gb;
+        g[j + 1] = -s * ga + c * gb;
+    }
+    let residual = g[k].abs();
+    // Back substitution on the leading k×k triangle.
+    let mut rtop = Matrix::zeros(k, k);
+    for j in 0..k {
+        for i in 0..=j {
+            rtop[(i, j)] = r[(i, j)];
+        }
+    }
+    let y = tri_solve_upper(&rtop, &g[..k]);
+    (y, residual)
+}
+
+/// General dense least squares `min_y ‖b − A y‖₂` via Householder QR
+/// (for `A ∈ R^{p×q}`, `p ≥ q`, full column rank).
+///
+/// Returns `(y, residual_norm)`.
+pub fn qr_lsq(a: &Matrix, b: &[f64]) -> (Vec<f64>, f64) {
+    let p = a.nrows();
+    let q = a.ncols();
+    assert!(p >= q, "qr_lsq: need at least as many rows as columns");
+    assert_eq!(b.len(), p, "qr_lsq: rhs length mismatch");
+    let (qmat, rmat) = householder_qr(a);
+    // y solves R y = Qᵀ b.
+    let mut qtb = vec![0.0; q];
+    for j in 0..q {
+        qtb[j] = crate::blas1::dot(qmat.col(j), b);
+    }
+    let y = tri_solve_upper(&rmat, &qtb);
+    // Residual norm: ‖b − A y‖.
+    let mut resid = b.to_vec();
+    for j in 0..q {
+        crate::blas1::axpy(-y[j], a.col(j), &mut resid);
+    }
+    (y, crate::blas1::nrm2(&resid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn givens_zeroes_second_entry() {
+        for (a, b) in [(3.0, 4.0), (-3.0, 4.0), (0.0, 2.0), (2.0, 0.0), (-5.0, 0.0), (0.0, -1.0)] {
+            let (c, s, r) = givens_rotation(a, b);
+            assert!((c * c + s * s - 1.0).abs() < 1e-14);
+            assert!(r >= 0.0);
+            assert!((c * a + s * b - r).abs() < 1e-12);
+            assert!((-s * a + c * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hessenberg_lsq_exact_system_has_zero_residual() {
+        // Square-ish consistent system: H (3+1)x3 with last row ~ 0 so an
+        // exact solution exists.
+        let h = Matrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 2.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let y_true = [1.0, -1.0, 2.0];
+        // beta e1 must equal H y for an exact solve; instead build b = H y and
+        // check through the general solver for consistency.
+        let mut b = vec![0.0; 4];
+        for i in 0..4 {
+            for j in 0..3 {
+                b[i] += h[(i, j)] * y_true[j];
+            }
+        }
+        let (y, res) = qr_lsq(&h, &b);
+        assert!(res < 1e-12);
+        for (a, e) in y.iter().zip(&y_true) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hessenberg_lsq_matches_general_qr_solver() {
+        // Random-ish Hessenberg matrix.
+        let k = 6;
+        let h = Matrix::from_fn(k + 1, k, |i, j| {
+            if i > j + 1 {
+                0.0
+            } else {
+                ((i * 7 + j * 3) % 11) as f64 * 0.2 + if i == j { 2.0 } else { 0.0 }
+            }
+        });
+        let beta = 1.7;
+        let mut b = vec![0.0; k + 1];
+        b[0] = beta;
+        let (y_fast, res_fast) = hessenberg_lsq(&h, beta);
+        let (y_ref, res_ref) = qr_lsq(&h, &b);
+        for (a, e) in y_fast.iter().zip(&y_ref) {
+            assert!((a - e).abs() < 1e-10, "{a} vs {e}");
+        }
+        assert!((res_fast - res_ref).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_minimal_compared_to_perturbed_solutions() {
+        let k = 4;
+        let h = Matrix::from_fn(k + 1, k, |i, j| {
+            if i > j + 1 {
+                0.0
+            } else {
+                1.0 / (1.0 + (i + 2 * j) as f64)
+            }
+        });
+        let beta = 1.0;
+        let (y, res) = hessenberg_lsq(&h, beta);
+        let resid_norm = |yv: &[f64]| {
+            let mut r = vec![0.0; k + 1];
+            r[0] = beta;
+            for i in 0..k + 1 {
+                for j in 0..k {
+                    r[i] -= h[(i, j)] * yv[j];
+                }
+            }
+            crate::blas1::nrm2(&r)
+        };
+        assert!((resid_norm(&y) - res).abs() < 1e-12);
+        // Any perturbation must not reduce the residual.
+        for p in 0..k {
+            let mut y2 = y.clone();
+            y2[p] += 1e-3;
+            assert!(resid_norm(&y2) >= res - 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_column_hessenberg() {
+        let h = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let (y, res) = hessenberg_lsq(&h, 5.0);
+        // min over y of ||(5,0) - (3,4) y||: y = 15/25 = 0.6, residual = |5*4/5| = 4? compute:
+        // optimal y = (3*5)/(9+16) = 0.6; residual vector = (5-1.8, -2.4) = (3.2, -2.4), norm 4.0.
+        assert!((y[0] - 0.6).abs() < 1e-12);
+        assert!((res - 4.0).abs() < 1e-12);
+    }
+}

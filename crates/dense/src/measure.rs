@@ -1,0 +1,141 @@
+//! Measurement helpers used by the paper's numerical study:
+//! condition numbers and orthogonality errors.
+
+use crate::blas3::gram;
+use crate::eig::sym_eigvals;
+use crate::matrix::{MatView, Matrix};
+
+/// Frobenius norm of a matrix.
+pub fn frobenius_norm(a: &Matrix) -> f64 {
+    crate::blas1::nrm2(a.data())
+}
+
+/// Spectral (2-)norm of a **symmetric** matrix, computed via its eigenvalues.
+pub fn spectral_norm_sym(a: &Matrix) -> f64 {
+    let vals = sym_eigvals(a);
+    vals.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Orthogonality error `‖I − QᵀQ‖₂` of a tall-skinny panel `Q ∈ R^{n×s}`.
+///
+/// This is the quantity plotted in Figs. 6–9 of the paper.
+pub fn orthogonality_error(q: &MatView<'_>) -> f64 {
+    let s = q.ncols();
+    if s == 0 {
+        return 0.0;
+    }
+    let mut g = gram(q);
+    for i in 0..s {
+        g[(i, i)] -= 1.0;
+    }
+    g.scale(-1.0); // I − QᵀQ (sign does not affect the norm, kept for clarity)
+    spectral_norm_sym(&g)
+}
+
+/// Singular values (descending) of a tall-skinny panel `V ∈ R^{n×s}`.
+///
+/// The panel is first reduced with Householder QR (backward stable); the
+/// singular values of the small triangular factor are then computed with the
+/// one-sided Jacobi method, so tiny singular values are resolved far more
+/// accurately than a Gram-matrix/eigenvalue approach would allow.  This
+/// mirrors how MATLAB's `cond`, used in the paper's numerical study,
+/// measures conditioning.
+pub fn singular_values(v: &MatView<'_>) -> Vec<f64> {
+    let s = v.ncols();
+    if s == 0 {
+        return Vec::new();
+    }
+    if v.nrows() >= s {
+        let (_, r) = crate::qr::householder_qr(&v.to_owned_matrix());
+        crate::svd::svdvals_jacobi(&r)
+    } else {
+        // Wide panel: work on the transpose (same singular values).
+        crate::svd::svdvals_jacobi(&v.to_owned_matrix().transpose())
+    }
+}
+
+/// Two-norm condition number `κ₂(V) = σ_max(V)/σ_min(V)` of a tall-skinny
+/// panel.
+///
+/// Returns `f64::INFINITY` when the smallest singular value is numerically
+/// zero (the panel is numerically rank-deficient).
+pub fn cond_2(v: &MatView<'_>) -> f64 {
+    let s = v.ncols();
+    if s == 0 {
+        return 1.0;
+    }
+    let sv = singular_values(v);
+    let max = sv[0];
+    let min = sv[sv.len() - 1];
+    if max == 0.0 || min <= 0.0 {
+        return f64::INFINITY;
+    }
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::qr::householder_qr;
+
+    #[test]
+    fn frobenius_of_identity() {
+        assert!((frobenius_norm(&Matrix::identity(9)) - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn spectral_norm_of_symmetric_matrix() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]);
+        assert!((spectral_norm_sym(&a) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn orthogonality_error_of_orthonormal_panel_is_tiny() {
+        let v = Matrix::from_fn(300, 5, |i, j| ((i * 17 + j * 29) % 31) as f64 - 15.0);
+        let (q, _) = householder_qr(&v);
+        assert!(orthogonality_error(&q.view()) < 1e-13);
+    }
+
+    #[test]
+    fn orthogonality_error_detects_non_orthogonality() {
+        // Two identical unit columns: QᵀQ = [[1,1],[1,1]], error = 1.
+        let mut m = Matrix::zeros(10, 2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 1.0;
+        assert!((orthogonality_error(&m.view()) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cond_of_orthonormal_panel_is_one() {
+        let v = Matrix::from_fn(200, 4, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.4 - 3.0);
+        let (q, _) = householder_qr(&v);
+        let kappa = cond_2(&q.view());
+        assert!((kappa - 1.0).abs() < 1e-10, "kappa = {kappa}");
+    }
+
+    #[test]
+    fn cond_matches_prescribed_singular_values() {
+        // Diagonal panel with singular values 10 and 0.1 → κ = 100.
+        let mut v = Matrix::zeros(50, 2);
+        v[(0, 0)] = 10.0;
+        v[(1, 1)] = 0.1;
+        let kappa = cond_2(&v.view());
+        assert!((kappa - 100.0).abs() < 1e-8 * 100.0);
+    }
+
+    #[test]
+    fn rank_deficient_panel_has_infinite_cond() {
+        let mut v = Matrix::zeros(20, 2);
+        v[(0, 0)] = 1.0;
+        v[(0, 1)] = 1.0; // second column identical → rank 1
+        assert!(cond_2(&v.view()).is_infinite());
+    }
+
+    #[test]
+    fn empty_panel_edge_cases() {
+        let v = Matrix::zeros(10, 0);
+        assert_eq!(orthogonality_error(&v.view()), 0.0);
+        assert_eq!(cond_2(&v.view()), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! One-sided Jacobi SVD (singular values only) for small matrices.
+//!
+//! The paper's numerical study tracks condition numbers up to ~10¹⁶.
+//! Measuring `κ(V)` through the Gram matrix `VᵀV` squares the condition
+//! number and cannot resolve anything beyond ~10⁸ in double precision, so we
+//! instead reduce the tall panel with Householder QR (backward stable) and
+//! run a one-sided Jacobi sweep on the small triangular factor, which
+//! computes its singular values to high relative accuracy.
+
+use crate::matrix::Matrix;
+
+const MAX_SWEEPS: usize = 60;
+
+/// Singular values (descending) of a small dense matrix `A ∈ R^{p×q}` with
+/// `p ≥ q`, computed by one-sided Jacobi rotations.
+pub fn svdvals_jacobi(a: &Matrix) -> Vec<f64> {
+    let p = a.nrows();
+    let q = a.ncols();
+    assert!(p >= q, "svdvals_jacobi: need nrows >= ncols");
+    if q == 0 {
+        return Vec::new();
+    }
+    let mut u = a.clone();
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for i in 0..q - 1 {
+            for j in (i + 1)..q {
+                // Column moments.
+                let (mut alpha, mut beta, mut gamma) = (0.0f64, 0.0f64, 0.0f64);
+                for r in 0..p {
+                    let ui = u[(r, i)];
+                    let uj = u[(r, j)];
+                    alpha += ui * ui;
+                    beta += uj * uj;
+                    gamma += ui * uj;
+                }
+                if gamma.abs() <= f64::EPSILON * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..p {
+                    let ui = u[(r, i)];
+                    let uj = u[(r, j)];
+                    u[(r, i)] = c * ui - s * uj;
+                    u[(r, j)] = s * ui + c * uj;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+    let mut sv: Vec<f64> = (0..q)
+        .map(|j| {
+            let mut acc = 0.0;
+            for r in 0..p {
+                acc += u[(r, j)] * u[(r, j)];
+            }
+            acc.sqrt()
+        })
+        .collect();
+    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let mut a = Matrix::zeros(4, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1e-12;
+        a[(2, 2)] = 0.5;
+        let sv = svdvals_jacobi(&a);
+        assert!((sv[0] - 3.0).abs() < 1e-14);
+        assert!((sv[1] - 0.5).abs() < 1e-15);
+        assert!((sv[2] - 1e-12).abs() < 1e-24, "tiny value resolved to high relative accuracy");
+    }
+
+    #[test]
+    fn orthogonal_matrix_has_unit_singular_values() {
+        // 2x2 rotation.
+        let theta: f64 = 0.7;
+        let a = Matrix::from_rows(&[&[theta.cos(), -theta.sin()], &[theta.sin(), theta.cos()]]);
+        let sv = svdvals_jacobi(&a);
+        assert!((sv[0] - 1.0).abs() < 1e-14);
+        assert!((sv[1] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matches_eigenvalues_of_gram_for_moderate_conditioning() {
+        let a = Matrix::from_fn(20, 5, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0 + if i == j { 4.0 } else { 0.0 });
+        let sv = svdvals_jacobi(&a);
+        let gram = crate::blas3::gram(&a.view());
+        let mut eig = crate::eig::sym_eigvals(&gram);
+        eig.reverse();
+        for (s, l) in sv.iter().zip(&eig) {
+            assert!((s * s - l).abs() < 1e-10 * eig[0]);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_zero_singular_value() {
+        let mut a = Matrix::from_fn(10, 3, |i, j| (i + j) as f64 + 1.0);
+        // Make column 2 = column 0 + column 1 exactly (it already is for this
+        // generator? force it).
+        for i in 0..10 {
+            let v = a[(i, 0)] + a[(i, 1)];
+            a[(i, 2)] = v;
+        }
+        let sv = svdvals_jacobi(&a);
+        assert!(sv[2] < 1e-12 * sv[0]);
+    }
+
+    #[test]
+    fn empty_and_single_column() {
+        assert!(svdvals_jacobi(&Matrix::zeros(5, 0)).is_empty());
+        let a = Matrix::from_col_major(4, 1, vec![3.0, 0.0, 4.0, 0.0]);
+        let sv = svdvals_jacobi(&a);
+        assert!((sv[0] - 5.0).abs() < 1e-14);
+    }
+}

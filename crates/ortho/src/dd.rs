@@ -1,0 +1,162 @@
+//! Double-double (compensated) arithmetic for the mixed-precision CholQR.
+//!
+//! The related-work section of the paper describes a mixed-precision CholQR
+//! in which the Gram matrix is accumulated in twice the working precision
+//! (double-double when working in `f64`), giving it stability comparable to
+//! shifted CholQR without a second pass.  This module provides the minimal
+//! error-free-transformation toolkit (Knuth two-sum, FMA-based two-product)
+//! and a double-double Gram-matrix kernel.
+
+/// A double-double number `hi + lo` with `|lo| ≤ ulp(hi)/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing error component.
+    pub lo: f64,
+}
+
+/// Error-free transformation of a sum: returns `(s, e)` with `s = fl(a+b)`
+/// and `a + b = s + e` exactly (Knuth's TwoSum).
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free transformation of a product: returns `(p, e)` with
+/// `p = fl(a·b)` and `a·b = p + e` exactly (via FMA).
+#[inline]
+pub fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = f64::mul_add(a, b, -p);
+    (p, e)
+}
+
+impl Dd {
+    /// The double-double zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+
+    /// Lift an `f64`.
+    pub fn from_f64(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Round to the nearest `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Double-double addition of an `f64` term.
+    pub fn add_f64(self, x: f64) -> Dd {
+        let (s, e) = two_sum(self.hi, x);
+        let lo = self.lo + e;
+        let (hi, lo2) = two_sum(s, lo);
+        Dd { hi, lo: lo2 }
+    }
+
+    /// Add the exact product `a·b` (accumulated with its rounding error).
+    pub fn add_prod(self, a: f64, b: f64) -> Dd {
+        let (p, e) = two_prod(a, b);
+        self.add_f64(p).add_f64(e)
+    }
+
+    /// Double-double addition.
+    pub fn add(self, other: Dd) -> Dd {
+        self.add_f64(other.hi).add_f64(other.lo)
+    }
+}
+
+/// Local Gram matrix `G = VᵀV` accumulated in double-double precision.
+///
+/// Returns the `(hi, lo)` component arrays in column-major order (only the
+/// upper triangle is meaningful; it is symmetrized by the caller after the
+/// global reduction).
+pub fn dd_gram_local(v: &dense::MatView<'_>) -> (Vec<f64>, Vec<f64>) {
+    let n = v.nrows();
+    let s = v.ncols();
+    let data = v.data();
+    let mut hi = vec![0.0f64; s * s];
+    let mut lo = vec![0.0f64; s * s];
+    for j in 0..s {
+        let cj = &data[j * n..(j + 1) * n];
+        for i in 0..=j {
+            let ci = &data[i * n..(i + 1) * n];
+            let mut acc = Dd::ZERO;
+            for (a, b) in ci.iter().zip(cj) {
+                acc = acc.add_prod(*a, *b);
+            }
+            hi[j * s + i] = acc.hi;
+            lo[j * s + i] = acc.lo;
+        }
+    }
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_is_error_free() {
+        let (s, e) = two_sum(1.0, 1e-20);
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 1e-20);
+    }
+
+    #[test]
+    fn two_prod_captures_rounding_error() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 - f64::EPSILON;
+        let (p, e) = two_prod(a, b);
+        // a*b = 1 - eps^2 exactly; p rounds to 1.0 and e = -eps^2.
+        assert_eq!(p, 1.0);
+        assert_eq!(e, -f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    fn dd_sum_beats_plain_double() {
+        // Sum 1 + 1e-18 * 1e6 terms: plain double loses the tail entirely,
+        // double-double keeps it.
+        let mut plain = 1.0f64;
+        let mut dd = Dd::from_f64(1.0);
+        for _ in 0..1_000_000 {
+            plain += 1e-18;
+            dd = dd.add_f64(1e-18);
+        }
+        assert_eq!(plain, 1.0, "plain double drops the tiny terms");
+        let expect = 1.0 + 1e-12;
+        assert!((dd.to_f64() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dd_add_prod_is_more_accurate_than_f64() {
+        // Compute sum of c_i^2 where cancellation-free but tiny relative
+        // error accumulates; check dd is at least as good.
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 + (i as f64) * 1e-8).collect();
+        let mut dd = Dd::ZERO;
+        let mut plain = 0.0f64;
+        for &x in &xs {
+            dd = dd.add_prod(x, x);
+            plain += x * x;
+        }
+        // Reference with extended precision via Kahan-like reduction in reverse order.
+        let reference: f64 = xs.iter().rev().map(|x| x * x).sum();
+        assert!((dd.to_f64() - reference).abs() <= (plain - reference).abs() + 1e-9);
+    }
+
+    #[test]
+    fn dd_gram_matches_plain_gram_for_benign_input() {
+        let v = dense::Matrix::from_fn(500, 3, |i, j| ((i + j) % 5) as f64 - 2.0);
+        let (hi, lo) = dd_gram_local(&v.view());
+        let g = dense::gram(&v.view());
+        for j in 0..3 {
+            for i in 0..=j {
+                let dd_val = hi[j * 3 + i] + lo[j * 3 + i];
+                assert!((dd_val - g[(i, j)]).abs() < 1e-9 * g.max_abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by all orthogonalization schemes.
+
+/// Failure modes of a block orthogonalization step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrthoError {
+    /// A Cholesky factorization of a Gram matrix broke down — the condition
+    /// number of the panel (or big panel) exceeded the `O(ε^{-1/2})` bound
+    /// of conditions (1)/(5)/(9) of the paper.
+    CholeskyBreakdown {
+        /// Which kernel detected the breakdown.
+        context: &'static str,
+        /// The failing pivot index within the panel.
+        pivot: usize,
+    },
+    /// A vector that must be normalized has (numerically) zero norm: the
+    /// Krylov space is exhausted / the solver has converged ("lucky
+    /// breakdown").
+    ZeroNorm {
+        /// Which kernel detected the zero norm.
+        context: &'static str,
+        /// The basis column that had zero norm.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for OrthoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrthoError::CholeskyBreakdown { context, pivot } => write!(
+                f,
+                "Cholesky breakdown in {context} at pivot {pivot}: the block is numerically rank deficient \
+                 (condition number exceeds O(1/sqrt(eps))); use a smaller step size or a shifted/Householder kernel"
+            ),
+            OrthoError::ZeroNorm { context, column } => {
+                write!(f, "zero norm encountered in {context} at basis column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrthoError {}
+
+impl From<dense::CholeskyError> for OrthoError {
+    fn from(e: dense::CholeskyError) -> Self {
+        OrthoError::CholeskyBreakdown {
+            context: "cholesky",
+            pivot: e.pivot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OrthoError::CholeskyBreakdown {
+            context: "cholqr",
+            pivot: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("cholqr") && msg.contains("pivot 3"));
+        let z = OrthoError::ZeroNorm {
+            context: "cgs2",
+            column: 7,
+        };
+        assert!(z.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn converts_from_cholesky_error() {
+        let ce = dense::cholesky_upper(&dense::Matrix::zeros(2, 2)).unwrap_err();
+        let oe: OrthoError = ce.into();
+        assert!(matches!(oe, OrthoError::CholeskyBreakdown { pivot: 0, .. }));
+    }
+}

@@ -1,0 +1,352 @@
+//! Low-level orthogonalization kernels on a distributed Krylov basis.
+//!
+//! Every kernel documents its global-synchronization count — the quantity
+//! the paper's performance analysis is built on.  All kernels operate in
+//! place on column ranges of a [`DistMultiVector`] and return the small
+//! replicated factors.
+
+use crate::error::OrthoError;
+use dense::Matrix;
+use distsim::DistMultiVector;
+use std::ops::Range;
+
+/// Cholesky QR of the columns `cols`: factorizes `V = Q·R`, leaving `Q` in
+/// place of `V`.
+///
+/// **1 global reduce** (the Gram matrix).  Fails if the Gram matrix is not
+/// numerically positive definite, i.e. `κ(V) ≳ 1/√ε` (condition (1) of the
+/// paper).
+pub fn cholqr(basis: &mut DistMultiVector, cols: Range<usize>) -> Result<Matrix, OrthoError> {
+    let g = basis.gram(cols.clone());
+    let r = dense::cholesky_upper(&g).map_err(|e| OrthoError::CholeskyBreakdown {
+        context: "CholQR",
+        pivot: e.pivot,
+    })?;
+    basis.scale_right(cols, &r);
+    Ok(r)
+}
+
+/// Cholesky QR with reorthogonalization (CholQR2, Fig. 3b of the paper):
+/// `R := T·R` where `T` is the factor of the second pass.
+///
+/// **2 global reduces.**
+pub fn cholqr2(basis: &mut DistMultiVector, cols: Range<usize>) -> Result<Matrix, OrthoError> {
+    let r1 = cholqr(basis, cols.clone())?;
+    let t = cholqr(basis, cols)?;
+    Ok(dense::tri_matmul_upper(&t, &r1))
+}
+
+/// Shifted Cholesky QR (Fukaya et al.): factorizes `G + shift·I` so the
+/// factorization succeeds for any numerically full-rank input; one extra
+/// pass (CholQR) is then usually applied by the caller to restore `O(ε)`
+/// orthogonality.
+///
+/// **1 global reduce.**  Returns `(R, shift)`.
+pub fn shifted_cholqr(
+    basis: &mut DistMultiVector,
+    cols: Range<usize>,
+) -> Result<(Matrix, f64), OrthoError> {
+    let g = basis.gram(cols.clone());
+    let (r, shift) = dense::shifted_cholesky_upper(&g, basis.global_rows()).map_err(|e| {
+        OrthoError::CholeskyBreakdown {
+            context: "shifted CholQR",
+            pivot: e.pivot,
+        }
+    })?;
+    basis.scale_right(cols, &r);
+    Ok((r, shift))
+}
+
+/// Mixed-precision Cholesky QR: the Gram matrix is accumulated in
+/// double-double arithmetic (the high and low parts are reduced together),
+/// then factorized in working precision.
+///
+/// **1 global reduce** (of twice the words of plain CholQR).
+pub fn mixed_precision_cholqr(
+    basis: &mut DistMultiVector,
+    cols: Range<usize>,
+) -> Result<Matrix, OrthoError> {
+    let s = cols.end - cols.start;
+    let view = basis.local_cols(cols.clone());
+    let (hi, lo) = crate::dd::dd_gram_local(&view);
+    let mut buf = Vec::with_capacity(2 * s * s);
+    buf.extend_from_slice(&hi);
+    buf.extend_from_slice(&lo);
+    basis.comm().allreduce_sum(&mut buf);
+    let mut g = Matrix::zeros(s, s);
+    for j in 0..s {
+        for i in 0..=j {
+            let v = buf[j * s + i] + buf[s * s + j * s + i];
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    let r = dense::cholesky_upper(&g).map_err(|e| OrthoError::CholeskyBreakdown {
+        context: "mixed-precision CholQR",
+        pivot: e.pivot,
+    })?;
+    basis.scale_right(cols, &r);
+    Ok(r)
+}
+
+/// Block classical Gram–Schmidt projection (Fig. 2a): project the panel
+/// `new` against the orthonormal block `prev` and subtract.
+///
+/// **1 global reduce.**  Returns the projection coefficients
+/// `R_{prev,new} = Q_prevᵀ V_new`.
+pub fn bcgs(basis: &mut DistMultiVector, prev: Range<usize>, new: Range<usize>) -> Matrix {
+    let p = basis.proj(prev.clone(), new.clone());
+    basis.update(prev, new, &p);
+    p
+}
+
+/// BCGS with the Pythagorean inner product (BCGS-PIP, Fig. 4a): project the
+/// panel against `prev`, form the Gram matrix of the projected panel via the
+/// Pythagorean identity `G_proj = VᵀV − (Q_prevᵀV)ᵀ(Q_prevᵀV)`, factorize,
+/// and normalize — all with a **single global reduce**.
+///
+/// Returns `(R_prev_new, R_new_new)`.
+pub fn bcgs_pip(
+    basis: &mut DistMultiVector,
+    prev: Range<usize>,
+    new: Range<usize>,
+) -> Result<(Matrix, Matrix), OrthoError> {
+    let (p, g) = basis.proj_and_gram(prev.clone(), new.clone());
+    // Pythagorean update of the Gram matrix of the projected panel.
+    let correction = dense::gemm_nn(&p.transpose(), &p);
+    let g_proj = g.sub(&correction);
+    let r_new = dense::cholesky_upper(&g_proj).map_err(|e| OrthoError::CholeskyBreakdown {
+        context: "BCGS-PIP",
+        pivot: e.pivot,
+    })?;
+    basis.update(prev, new.clone(), &p);
+    basis.scale_right(new, &r_new);
+    Ok((p, r_new))
+}
+
+/// Column-wise classical Gram–Schmidt with reorthogonalization (CGS2),
+/// applied column by column of the panel `new` against all columns from
+/// `against_start` up to (but excluding) the current column.
+///
+/// This is the "BLAS-1/BLAS-2, `O(s)` synchronizations" kernel class the
+/// paper associates with Householder QR: unconditionally stable for
+/// numerically full-rank panels but communication-bound
+/// (**3 global reduces per column**).
+///
+/// Returns the R block with rows `against_start..new.end` and columns `new`.
+pub fn columnwise_cgs2(
+    basis: &mut DistMultiVector,
+    against_start: usize,
+    new: Range<usize>,
+) -> Result<Matrix, OrthoError> {
+    let nrows_r = new.end - against_start;
+    let ncols_r = new.end - new.start;
+    let mut r = Matrix::zeros(nrows_r, ncols_r);
+    for c in new.clone() {
+        let rcol = c - new.start;
+        if c > against_start {
+            // First projection pass.
+            let p1 = basis.proj(against_start..c, c..c + 1);
+            basis.update(against_start..c, c..c + 1, &p1);
+            // Reorthogonalization pass.
+            let p2 = basis.proj(against_start..c, c..c + 1);
+            basis.update(against_start..c, c..c + 1, &p2);
+            for k in 0..(c - against_start) {
+                r[(k, rcol)] = p1[(k, 0)] + p2[(k, 0)];
+            }
+        }
+        let norm = basis.norm2(c);
+        if norm == 0.0 || !norm.is_finite() {
+            return Err(OrthoError::ZeroNorm {
+                context: "columnwise CGS2",
+                column: c,
+            });
+        }
+        basis.scale_col(c, 1.0 / norm);
+        r[(c - against_start, rcol)] = norm;
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::orthogonality_error;
+    use distsim::SerialComm;
+
+    fn basis_from(m: &Matrix) -> DistMultiVector {
+        DistMultiVector::from_matrix(SerialComm::new(), m.clone())
+    }
+
+    fn panel(n: usize, s: usize) -> Matrix {
+        Matrix::from_fn(n, s, |i, j| {
+            ((i * 31 + j * 17) % 29) as f64 * 0.07 - 1.0 + if i % (j + 2) == 0 { 1.5 } else { 0.0 }
+        })
+    }
+
+    fn reconstructs(q_cols: &Matrix, r: &Matrix, v: &Matrix, tol: f64) {
+        let back = dense::gemm_nn(q_cols, r);
+        for j in 0..v.ncols() {
+            for i in 0..v.nrows() {
+                assert!(
+                    (back[(i, j)] - v[(i, j)]).abs() <= tol * v.max_abs(),
+                    "({i},{j}): {} vs {}",
+                    back[(i, j)],
+                    v[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_orthogonalizes_well_conditioned_panel() {
+        let v = panel(400, 5);
+        let mut b = basis_from(&v);
+        let before = b.comm().stats().snapshot();
+        let r = cholqr(&mut b, 0..5).unwrap();
+        let delta = b.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 1, "CholQR is a single-reduce kernel");
+        assert!(orthogonality_error(&b.local().cols(0..5)) < 1e-10);
+        reconstructs(b.local(), &r, &v, 1e-12);
+    }
+
+    #[test]
+    fn cholqr2_reaches_machine_precision_orthogonality() {
+        let v = panel(400, 5);
+        let mut b = basis_from(&v);
+        let before = b.comm().stats().snapshot();
+        let r = cholqr2(&mut b, 0..5).unwrap();
+        let delta = b.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 2, "CholQR2 uses two reduces");
+        assert!(orthogonality_error(&b.local().cols(0..5)) < 1e-14);
+        reconstructs(b.local(), &r, &v, 1e-12);
+    }
+
+    #[test]
+    fn cholqr_fails_on_singular_panel_and_shifted_succeeds() {
+        let mut v = panel(100, 3);
+        // Make the third column a copy of the first: exactly rank deficient.
+        for i in 0..100 {
+            let x = v[(i, 0)];
+            v[(i, 2)] = x;
+        }
+        let mut b = basis_from(&v);
+        assert!(matches!(
+            cholqr(&mut b, 0..3),
+            Err(OrthoError::CholeskyBreakdown { .. })
+        ));
+        let mut b2 = basis_from(&v);
+        let (r, shift) = shifted_cholqr(&mut b2, 0..3).unwrap();
+        assert!(shift > 0.0);
+        assert!(r[(2, 2)] > 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_cholqr_matches_cholqr_on_benign_input() {
+        let v = panel(300, 4);
+        let mut a = basis_from(&v);
+        let mut b = basis_from(&v);
+        let ra = cholqr(&mut a, 0..4).unwrap();
+        let rb = mixed_precision_cholqr(&mut b, 0..4).unwrap();
+        for j in 0..4 {
+            for i in 0..4 {
+                assert!((ra[(i, j)] - rb[(i, j)]).abs() < 1e-10 * ra.max_abs());
+            }
+        }
+        // The dd Gram buys extra stability: on a panel with kappa ~ 1e9 the
+        // plain CholQR Gram matrix is at the edge of positive definiteness
+        // while the dd-accumulated one is still clean.  (Both may succeed;
+        // we only require the mixed-precision one to produce a better Q.)
+        assert!(orthogonality_error(&b.local().cols(0..4)) < 1e-10);
+    }
+
+    #[test]
+    fn bcgs_projects_against_previous_block() {
+        let v = panel(500, 6);
+        let mut b = basis_from(&v);
+        // Orthogonalize the first block of 3 columns, then BCGS the rest.
+        cholqr2(&mut b, 0..3).unwrap();
+        let before = b.comm().stats().snapshot();
+        let p = bcgs(&mut b, 0..3, 3..6);
+        assert_eq!(b.comm().stats().snapshot().since(&before).allreduces, 1);
+        assert_eq!(p.nrows(), 3);
+        assert_eq!(p.ncols(), 3);
+        // The projected panel must now be orthogonal to the first block.
+        let cross = dense::gemm_tn(&b.local().cols(0..3), &b.local().cols(3..6));
+        assert!(cross.max_abs() < 1e-10 * v.max_abs());
+    }
+
+    #[test]
+    fn bcgs_pip_is_single_reduce_and_orthogonalizes() {
+        let v = panel(500, 8);
+        let mut b = basis_from(&v);
+        cholqr2(&mut b, 0..4).unwrap();
+        let before = b.comm().stats().snapshot();
+        let (p, rnew) = bcgs_pip(&mut b, 0..4, 4..8).unwrap();
+        let delta = b.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 1, "BCGS-PIP must use a single reduce");
+        assert_eq!(p.nrows(), 4);
+        assert_eq!(rnew.nrows(), 4);
+        // Panel is orthogonal to the previous block and internally orthonormal
+        // to the PIP accuracy O(eps * kappa^2).
+        let cross = dense::gemm_tn(&b.local().cols(0..4), &b.local().cols(4..8));
+        assert!(cross.max_abs() < 1e-8);
+        assert!(orthogonality_error(&b.local().cols(4..8)) < 1e-8);
+    }
+
+    #[test]
+    fn bcgs_pip_with_empty_prev_is_cholqr() {
+        let v = panel(200, 4);
+        let mut a = basis_from(&v);
+        let mut b = basis_from(&v);
+        let (_, r_pip) = bcgs_pip(&mut a, 0..0, 0..4).unwrap();
+        let r_chol = cholqr(&mut b, 0..4).unwrap();
+        for j in 0..4 {
+            for i in 0..4 {
+                assert!((r_pip[(i, j)] - r_chol[(i, j)]).abs() < 1e-12 * r_chol.max_abs());
+            }
+        }
+    }
+
+    #[test]
+    fn bcgs_pip_detects_breakdown_on_dependent_panel() {
+        let mut v = panel(200, 6);
+        for i in 0..200 {
+            let x = v[(i, 1)];
+            v[(i, 5)] = x; // column 5 duplicates column 1
+        }
+        let mut b = basis_from(&v);
+        cholqr2(&mut b, 0..3).unwrap();
+        assert!(bcgs_pip(&mut b, 0..3, 3..6).is_err());
+    }
+
+    #[test]
+    fn columnwise_cgs2_orthogonalizes_and_counts_reduces() {
+        let v = panel(300, 6);
+        let mut b = basis_from(&v);
+        cholqr2(&mut b, 0..2).unwrap();
+        let before = b.comm().stats().snapshot();
+        let r = columnwise_cgs2(&mut b, 0, 2..6).unwrap();
+        let delta = b.comm().stats().snapshot().since(&before);
+        // 4 columns, each: 2 projections + 1 norm = 3 reduces.
+        assert_eq!(delta.allreduces, 12);
+        assert!(orthogonality_error(&b.local().cols(0..6)) < 1e-13);
+        assert_eq!(r.nrows(), 6);
+        assert_eq!(r.ncols(), 4);
+        // R diagonal entries (the column norms) are positive.
+        for c in 0..4 {
+            assert!(r[(2 + c, c)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn columnwise_cgs2_zero_column_reports_breakdown() {
+        let mut v = panel(100, 3);
+        for i in 0..100 {
+            v[(i, 2)] = 0.0;
+        }
+        let mut b = basis_from(&v);
+        let err = columnwise_cgs2(&mut b, 0, 0..3).unwrap_err();
+        assert!(matches!(err, OrthoError::ZeroNorm { column: 2, .. }));
+    }
+}

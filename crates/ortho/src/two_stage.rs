@@ -1,0 +1,411 @@
+//! The two-stage block orthogonalization scheme (Section V, Fig. 5).
+//!
+//! The first stage runs once per panel of `s` freshly generated Krylov
+//! vectors: a single BCGS-PIP against *all* stored columns — the fully
+//! orthogonalized previous big panels `Q_{1:ℓ-1}` and the merely
+//! pre-processed panels `Q̂_{ℓ:j-1}` of the current big panel.  Its job is
+//! not full orthogonality but keeping the accumulated basis well
+//! conditioned, so that the matrix-powers kernel can keep extending it.
+//! **1 global reduce per panel.**
+//!
+//! The second stage runs once per *big panel* of `bs` columns
+//! (`s ≤ bs ≤ m`): one BCGS-PIP of the whole pre-processed big panel against
+//! the fully orthogonalized prefix, followed by the R-factor update of
+//! Fig. 5 lines 18–19.  **1 additional global reduce per `bs` columns**, and
+//! all its local BLAS-3 work runs on blocks of `bs` columns instead of `s`,
+//! which is where the data-reuse gain comes from.
+//!
+//! With `bs = s` the scheme degenerates to one-stage BCGS-PIP2; with
+//! `bs = m` it reaches the paper's best configuration.
+
+use crate::error::OrthoError;
+use crate::kernels::bcgs_pip;
+use crate::traits::BlockOrthogonalizer;
+use dense::Matrix;
+use distsim::DistMultiVector;
+use std::ops::Range;
+
+/// The two-stage block orthogonalizer.
+#[derive(Debug)]
+pub struct TwoStage {
+    /// Second-stage block size `bs` in columns.
+    big_panel: usize,
+    /// Total number of basis columns (`m + 1`), used to size bookkeeping.
+    total_cols: usize,
+    /// First column of the current (not yet fully orthogonalized) big panel.
+    big_start: usize,
+    /// End (exclusive) of the columns pre-processed so far.
+    processed_end: usize,
+    /// Representation of each stored basis column in the final basis
+    /// (identity for columns of completed big panels; the stage-2 T factor
+    /// for columns that were pre-processed when used as MPK inputs).
+    coeffs: Matrix,
+}
+
+impl TwoStage {
+    /// Create a two-stage orthogonalizer with second step size `big_panel`
+    /// (the paper's `bs`) for a basis of `total_cols` columns.
+    pub fn new(big_panel: usize, total_cols: usize) -> Self {
+        assert!(big_panel >= 1, "big panel size must be at least 1");
+        Self {
+            big_panel,
+            total_cols,
+            big_start: 0,
+            processed_end: 0,
+            coeffs: Matrix::identity(total_cols),
+        }
+    }
+
+    /// The configured second-stage block size `bs`.
+    pub fn big_panel(&self) -> usize {
+        self.big_panel
+    }
+
+    /// Run the second stage on the columns `big_start..processed_end`
+    /// (if any) and update `R` and the coefficient bookkeeping.
+    fn flush_big_panel(
+        &mut self,
+        basis: &mut DistMultiVector,
+        r: &mut Matrix,
+    ) -> Result<(), OrthoError> {
+        let bp = self.big_start..self.processed_end;
+        if bp.is_empty() {
+            return Ok(());
+        }
+        let prev = 0..bp.start;
+        // Second-stage BCGS-PIP of the pre-processed big panel.  If the big
+        // panel violates condition (9) of the paper (its condition number
+        // exceeds ~1/sqrt(eps)), fall back to a shifted-CholQR first pass
+        // followed by a re-orthogonalization pass — the remedy of Fukaya et
+        // al. cited in the paper's related work — and compose the factors.
+        let (t_prev, t_bp) = match bcgs_pip(basis, prev.clone(), bp.clone()) {
+            Ok(factors) => factors,
+            Err(OrthoError::CholeskyBreakdown { .. }) => {
+                shifted_second_stage(basis, prev.clone(), bp.clone())?
+            }
+            Err(other) => return Err(other),
+        };
+        // R updates (Fig. 5 lines 18-19):
+        //   R[prev, bp] += T_prev · R[bp, bp]
+        //   R[bp, bp]    = T_bp  · R[bp, bp]
+        let r_bp_bp = extract_block(r, bp.clone(), bp.clone());
+        if !prev.is_empty() {
+            let correction = dense::gemm_nn(&t_prev, &r_bp_bp);
+            for (jj, col) in bp.clone().enumerate() {
+                for i in prev.clone() {
+                    let v = r[(i, col)] + correction[(i, jj)];
+                    r[(i, col)] = v;
+                }
+            }
+        }
+        let new_diag = dense::gemm_nn(&t_bp, &r_bp_bp);
+        for (jj, col) in bp.clone().enumerate() {
+            for (ii, row) in bp.clone().enumerate() {
+                r[(row, col)] = new_diag[(ii, jj)];
+            }
+        }
+        // Bookkeeping: stored columns of this big panel were the
+        // pre-processed Q̂; in the final basis they read
+        // Q̂_bp = Q_prev·T_prev + Q_bp·T_bp.
+        for (jj, col) in bp.clone().enumerate() {
+            for i in 0..self.total_cols {
+                self.coeffs[(i, col)] = 0.0;
+            }
+            for (ii, row) in prev.clone().enumerate() {
+                self.coeffs[(row, col)] = t_prev[(ii, jj)];
+            }
+            for (ii, row) in bp.clone().enumerate() {
+                self.coeffs[(row, col)] = t_bp[(ii, jj)];
+            }
+        }
+        self.big_start = self.processed_end;
+        Ok(())
+    }
+}
+
+/// Shifted second stage used when the plain BCGS-PIP on the big panel breaks
+/// down: one pass built on the shifted Cholesky factorization (which succeeds
+/// for any numerically full-rank panel), followed by a plain BCGS-PIP
+/// re-orthogonalization pass, with the two sets of factors composed so the
+/// caller still sees a single `(T_prev, T_bp)` pair with
+/// `Q̂ = Q_prev·T_prev + Q_new·T_bp`.
+fn shifted_second_stage(
+    basis: &mut DistMultiVector,
+    prev: Range<usize>,
+    bp: Range<usize>,
+) -> Result<(Matrix, Matrix), OrthoError> {
+    // First (shifted) pass.
+    let (p1, g1) = basis.proj_and_gram(prev.clone(), bp.clone());
+    let correction = dense::gemm_nn(&p1.transpose(), &p1);
+    let g_proj = g1.sub(&correction);
+    let (r1, _shift) = dense::shifted_cholesky_upper(&g_proj, basis.global_rows()).map_err(|e| {
+        OrthoError::CholeskyBreakdown {
+            context: "two-stage second stage (shifted fallback)",
+            pivot: e.pivot,
+        }
+    })?;
+    basis.update(prev.clone(), bp.clone(), &p1);
+    basis.scale_right(bp.clone(), &r1);
+    // Re-orthogonalization pass (now well conditioned).
+    let (p2, r2) = bcgs_pip(basis, prev.clone(), bp.clone()).map_err(|e| match e {
+        OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
+            context: "two-stage second stage (reorthogonalization)",
+            pivot,
+        },
+        other => other,
+    })?;
+    // Compose: Q̂ = Q_prev·(P1 + P2·R1) + Q_new·(R2·R1).
+    let t_prev = dense::gemm_nn(&p2, &r1).add(&p1);
+    let t_bp = dense::gemm_nn(&r2, &r1);
+    Ok((t_prev, t_bp))
+}
+
+/// Copy the sub-block `R[rows, cols]` into an owned matrix.
+fn extract_block(r: &Matrix, rows: Range<usize>, cols: Range<usize>) -> Matrix {
+    let mut out = Matrix::zeros(rows.end - rows.start, cols.end - cols.start);
+    for (jj, col) in cols.enumerate() {
+        for (ii, row) in rows.clone().enumerate() {
+            out[(ii, jj)] = r[(row, col)];
+        }
+    }
+    out
+}
+
+impl BlockOrthogonalizer for TwoStage {
+    fn name(&self) -> &'static str {
+        "two-stage BCGS-PIP"
+    }
+
+    fn orthogonalize_panel(
+        &mut self,
+        basis: &mut DistMultiVector,
+        new: Range<usize>,
+        r: &mut Matrix,
+    ) -> Result<(), OrthoError> {
+        assert_eq!(
+            new.start, self.processed_end,
+            "two-stage: panels must be supplied in order without gaps"
+        );
+        // First stage: pre-process the panel against everything stored so
+        // far (fully orthogonalized prefix + pre-processed current big
+        // panel) with a single BCGS-PIP.
+        let prev = 0..new.start;
+        let (p, r_new) = bcgs_pip(basis, prev.clone(), new.clone()).map_err(|e| match e {
+            OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
+                context: "two-stage first stage (panel pre-processing)",
+                pivot,
+            },
+            other => other,
+        })?;
+        crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
+        self.processed_end = new.end;
+        // Second stage once enough columns have accumulated.
+        if self.processed_end - self.big_start >= self.big_panel
+            || self.processed_end >= self.total_cols
+        {
+            self.flush_big_panel(basis, r)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, basis: &mut DistMultiVector, r: &mut Matrix) -> Result<(), OrthoError> {
+        self.flush_big_panel(basis, r)
+    }
+
+    fn stored_basis_coeffs(&self) -> Option<&Matrix> {
+        Some(&self.coeffs)
+    }
+
+    fn finalized_cols(&self) -> Option<usize> {
+        Some(self.big_start)
+    }
+
+    fn reset(&mut self) {
+        self.big_start = 0;
+        self.processed_end = 0;
+        self.coeffs = Matrix::identity(self.total_cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::orthogonality_error;
+    use distsim::SerialComm;
+
+    fn test_matrix(n: usize, c: usize) -> Matrix {
+        Matrix::from_fn(n, c, |i, j| {
+            ((i * 19 + j * 11) % 31) as f64 * 0.06 - 0.8 + if (i + 3 * j) % 9 == 0 { 1.9 } else { 0.0 }
+        })
+    }
+
+    fn run(v: &Matrix, panel: usize, bs: usize) -> (Matrix, Matrix, TwoStage) {
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(v.ncols(), v.ncols());
+        let mut scheme = TwoStage::new(bs, v.ncols());
+        let mut start = 0;
+        while start < v.ncols() {
+            let end = (start + panel).min(v.ncols());
+            scheme.orthogonalize_panel(&mut basis, start..end, &mut r).unwrap();
+            start = end;
+        }
+        scheme.finish(&mut basis, &mut r).unwrap();
+        (basis.local().clone(), r, scheme)
+    }
+
+    #[test]
+    fn two_stage_orthogonality_and_reconstruction() {
+        let v = test_matrix(600, 16);
+        for bs in [4, 8, 16] {
+            let (q, r, _) = run(&v, 4, bs);
+            let err = orthogonality_error(&q.view());
+            assert!(err < 1e-12, "bs = {bs}: orthogonality error {err}");
+            let back = dense::gemm_nn(&q, &r);
+            for j in 0..16 {
+                for i in 0..600 {
+                    assert!(
+                        (back[(i, j)] - v[(i, j)]).abs() < 1e-10 * v.max_abs(),
+                        "bs = {bs}: reconstruction failed at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_count_is_one_per_panel_plus_one_per_big_panel() {
+        let v = test_matrix(500, 20);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(20, 20);
+        let mut scheme = TwoStage::new(20, 20);
+        let before = basis.comm().stats().snapshot();
+        for p in 0..4 {
+            scheme
+                .orthogonalize_panel(&mut basis, p * 5..(p + 1) * 5, &mut r)
+                .unwrap();
+        }
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let delta = basis.comm().stats().snapshot().since(&before);
+        // 4 panels × 1 reduce + 1 big-panel reduce.
+        assert_eq!(delta.allreduces, 5);
+    }
+
+    #[test]
+    fn bs_equal_to_s_matches_one_stage_pip2_sync_count() {
+        let v = test_matrix(300, 10);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(10, 10);
+        let mut scheme = TwoStage::new(5, 10);
+        let before = basis.comm().stats().snapshot();
+        scheme.orthogonalize_panel(&mut basis, 0..5, &mut r).unwrap();
+        scheme.orthogonalize_panel(&mut basis, 5..10, &mut r).unwrap();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let delta = basis.comm().stats().snapshot().since(&before);
+        // bs = s: each panel is immediately flushed → 2 reduces per panel,
+        // exactly the BCGS-PIP2 count.
+        assert_eq!(delta.allreduces, 4);
+    }
+
+    #[test]
+    fn pre_processing_keeps_basis_well_conditioned_before_second_stage() {
+        // Feed panels of a glued matrix (each panel kappa 1e4) and check that
+        // after the first stage the stored (pre-processed) basis has a small
+        // condition number even though it is not yet orthogonal.
+        let spec = testmat::GluedSpec {
+            nrows: 400,
+            panel_cols: 4,
+            num_panels: 4,
+            panel_cond: 1e4,
+            glue_cond: 1e2,
+        };
+        let v = testmat::glued_matrix(&spec, 11);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(16, 16);
+        let mut scheme = TwoStage::new(16, 16);
+        for p in 0..4 {
+            scheme
+                .orthogonalize_panel(&mut basis, p * 4..(p + 1) * 4, &mut r)
+                .unwrap();
+            let kappa = dense::cond_2(&basis.local().cols(0..(p + 1) * 4));
+            assert!(
+                kappa < 1e3,
+                "pre-processed basis must stay well conditioned, kappa = {kappa}"
+            );
+        }
+        scheme.finish(&mut basis, &mut r).unwrap();
+        assert!(orthogonality_error(&basis.local().cols(0..16)) < 1e-12);
+    }
+
+    #[test]
+    fn stored_basis_coeffs_express_preprocessed_columns() {
+        // After finish, coeffs[:, c] must reproduce the pre-processed column
+        // that was stored at column c before the second stage ran.
+        let v = test_matrix(300, 12);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(12, 12);
+        let mut scheme = TwoStage::new(12, 12);
+        scheme.orthogonalize_panel(&mut basis, 0..4, &mut r).unwrap();
+        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+        scheme.orthogonalize_panel(&mut basis, 8..12, &mut r).unwrap();
+        // Capture the pre-processed basis before the second stage.
+        let pre = basis.local().clone();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let coeffs = scheme.stored_basis_coeffs().unwrap();
+        let reproduced = dense::gemm_nn(basis.local(), coeffs);
+        for j in 0..12 {
+            for i in 0..300 {
+                assert!(
+                    (reproduced[(i, j)] - pre[(i, j)]).abs() < 1e-10,
+                    "column {j} not reproduced at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state_for_a_new_cycle() {
+        let v = test_matrix(200, 8);
+        let (_, _, mut scheme) = run(&v, 4, 8);
+        scheme.reset();
+        assert_eq!(scheme.stored_basis_coeffs().unwrap(), &Matrix::identity(8));
+        // The scheme is reusable after reset.
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(8, 8);
+        scheme.orthogonalize_panel(&mut basis, 0..4, &mut r).unwrap();
+        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        assert!(orthogonality_error(&basis.local().cols(0..8)) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "panels must be supplied in order")]
+    fn out_of_order_panels_are_rejected() {
+        let v = test_matrix(100, 8);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(8, 8);
+        let mut scheme = TwoStage::new(8, 8);
+        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+    }
+
+    #[test]
+    fn glued_matrix_full_run_reaches_machine_precision() {
+        // The Fig. 8 scenario at reduced size: glued matrix, panels of 5,
+        // big panel of 20.
+        let spec = testmat::GluedSpec {
+            nrows: 500,
+            panel_cols: 5,
+            num_panels: 8,
+            panel_cond: 1e6,
+            glue_cond: 1e3,
+        };
+        let v = testmat::glued_matrix(&spec, 3);
+        let (q, r, _) = run(&v, 5, 20);
+        assert!(orthogonality_error(&q.view()) < 1e-12);
+        let back = dense::gemm_nn(&q, &r);
+        for j in 0..40 {
+            for i in 0..500 {
+                assert!((back[(i, j)] - v[(i, j)]).abs() < 1e-8 * v.max_abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic contiguous chunking of index ranges.
+
+/// A half-open index range `[start, end)` assigned to one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRange {
+    /// First index of the chunk.
+    pub start: usize,
+    /// One past the last index of the chunk.
+    pub end: usize,
+}
+
+impl ChunkRange {
+    /// Number of items in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk contains no items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Split `0..len` into at most `nchunks` contiguous, non-empty ranges whose
+/// sizes differ by at most one.  The result is deterministic: the first
+/// `len % nchunks` chunks receive one extra element.
+pub fn chunk_ranges(len: usize, nchunks: usize) -> Vec<ChunkRange> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let nchunks = nchunks.max(1).min(len);
+    let base = len / nchunks;
+    let extra = len % nchunks;
+    let mut out = Vec::with_capacity(nchunks);
+    let mut start = 0;
+    for i in 0..nchunks {
+        let size = base + usize::from(i < extra);
+        out.push(ChunkRange {
+            start,
+            end: start + size,
+        });
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_without_overlap() {
+        for len in [1usize, 2, 7, 100, 1023, 1024, 1025] {
+            for n in [1usize, 2, 3, 4, 7, 16] {
+                let chunks = chunk_ranges(len, n);
+                assert!(!chunks.is_empty());
+                assert_eq!(chunks[0].start, 0);
+                assert_eq!(chunks.last().unwrap().end, len);
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let total: usize = chunks.iter().map(|c| c.len()).sum();
+                assert_eq!(total, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let chunks = chunk_ranges(103, 8);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn never_more_chunks_than_items() {
+        assert_eq!(chunk_ranges(3, 16).len(), 3);
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(chunk_ranges(1000, 7), chunk_ranges(1000, 7));
+    }
+
+    #[test]
+    fn chunk_range_len_and_empty() {
+        let c = ChunkRange { start: 3, end: 7 };
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        let e = ChunkRange { start: 5, end: 5 };
+        assert!(e.is_empty());
+    }
+}

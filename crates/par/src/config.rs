@@ -1,0 +1,87 @@
+//! Thread-count configuration.
+//!
+//! The worker count resolution order is:
+//! 1. a value set programmatically with [`set_num_threads`],
+//! 2. the `TWOSTAGE_NUM_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "not set"; resolved lazily on first use.
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the number of worker threads used by all parallel regions.
+///
+/// Passing `0` resets to the automatic default (environment variable or
+/// available parallelism).  Values are clamped to at least one thread when
+/// used.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The maximum number of worker threads a parallel region may use.
+pub fn max_threads() -> usize {
+    let configured = NUM_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(value) = std::env::var("TWOSTAGE_NUM_THREADS") {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            if parsed > 0 {
+                return parsed;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads to actually use for a problem of `len` work items.
+///
+/// Small problems are run with fewer threads (at least one work item per
+/// thread, and never more threads than `max_threads()`); a `len` of zero
+/// yields one thread so callers never need to special-case empty inputs.
+pub fn num_threads_for(len: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    // Require a minimum grain per thread so tiny kernels (e.g. s-by-s
+    // triangular updates) stay serial instead of paying spawn overhead.
+    const MIN_GRAIN: usize = 1024;
+    let by_grain = len.div_ceil(MIN_GRAIN).max(1);
+    by_grain.min(max_threads()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn override_is_respected_and_resettable() {
+        set_num_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_num_threads(0);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn small_problems_use_one_thread() {
+        assert_eq!(num_threads_for(0), 1);
+        assert_eq!(num_threads_for(1), 1);
+        assert_eq!(num_threads_for(100), 1);
+    }
+
+    #[test]
+    fn large_problems_use_multiple_threads_when_available() {
+        set_num_threads(8);
+        assert_eq!(num_threads_for(1 << 20), 8);
+        assert_eq!(num_threads_for(2048), 2);
+        set_num_threads(0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # parkit — lightweight data-parallel primitives
+//!
+//! This crate provides the minimal data-parallel substrate used by every
+//! compute kernel in the two-stage GMRES reproduction: chunked parallel
+//! `for` loops over index ranges and mutable slices, and parallel
+//! map-reduce.  It is deliberately small — the kernels in this workspace
+//! only need "split the rows into `p` contiguous chunks and run them on
+//! `p` threads" style parallelism, which maps directly onto
+//! `std::thread::scope`.
+//!
+//! Design points (following the HPC-Rust guidance used for this project):
+//!
+//! * **No global thread pool.**  Threads are spawned per parallel region
+//!   with `std::thread::scope`, which keeps the crate dependency-free and
+//!   makes the parallel regions easy to reason about.  For the tall-skinny
+//!   matrix kernels in this workspace the region bodies are large (hundreds
+//!   of thousands of rows), so spawn overhead is negligible.
+//! * **Deterministic chunking.**  A given `(len, nthreads)` pair always
+//!   produces the same chunk boundaries, so parallel reductions sum the
+//!   same partial results in the same order and runs are reproducible.
+//! * **Configurable thread count.**  The number of worker threads defaults
+//!   to the available parallelism and can be overridden with the
+//!   `TWOSTAGE_NUM_THREADS` environment variable or programmatically via
+//!   [`set_num_threads`].
+//!
+//! ```
+//! use parkit::{parallel_for_chunks, parallel_map_reduce};
+//!
+//! let mut v = vec![0.0f64; 1000];
+//! parallel_for_chunks(&mut v, |chunk, offset| {
+//!     for (i, x) in chunk.iter_mut().enumerate() {
+//!         *x = (offset + i) as f64;
+//!     }
+//! });
+//! let sum = parallel_map_reduce(0..1000, 0.0f64, |i| i as f64, |a, b| a + b);
+//! assert_eq!(sum, v.iter().sum::<f64>());
+//! ```
+
+mod chunk;
+mod config;
+mod parallel;
+mod reduce;
+
+pub use chunk::{chunk_ranges, ChunkRange};
+pub use config::{max_threads, num_threads_for, set_num_threads};
+pub use parallel::{
+    parallel_for_chunks, parallel_for_chunks_with, parallel_for_range, parallel_join,
+    parallel_zip_chunks,
+};
+pub use reduce::{parallel_map_reduce, parallel_reduce_chunks, parallel_sum};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_holds() {
+        let mut v = vec![0.0f64; 1000];
+        parallel_for_chunks(&mut v, |chunk, offset| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as f64;
+            }
+        });
+        let sum = parallel_map_reduce(0..1000, 0.0f64, |i| i as f64, |a, b| a + b);
+        assert_eq!(sum, v.iter().sum::<f64>());
+    }
+}

@@ -1,0 +1,240 @@
+//! Parallel `for` loops over mutable slices and index ranges.
+
+use crate::chunk::chunk_ranges;
+use crate::config::num_threads_for;
+
+/// Run `body(chunk, offset)` over contiguous chunks of `data` in parallel.
+///
+/// `offset` is the index of the first element of `chunk` within `data`, so
+/// bodies can compute global indices.  The chunking is deterministic (see
+/// [`crate::chunk_ranges`]) and the call returns once every chunk has been
+/// processed.
+pub fn parallel_for_chunks<T, F>(data: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(&mut [T], usize) + Sync,
+{
+    let len = data.len();
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        body(data, 0);
+        return;
+    }
+    let ranges = chunk_ranges(len, nthreads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        let body = &body;
+        for range in &ranges {
+            let (head, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let offset = consumed;
+            consumed += range.len();
+            scope.spawn(move || body(head, offset));
+        }
+    });
+}
+
+/// Like [`parallel_for_chunks`] but each worker first builds per-thread
+/// state with `init()` and passes it to every call of its `body`.
+///
+/// This is the idiom for kernels that need scratch buffers (e.g. a local
+/// Gram-matrix accumulator) without allocating inside the hot loop.
+pub fn parallel_for_chunks_with<T, S, I, F>(data: &mut [T], init: I, body: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    S: Send,
+    F: Fn(&mut S, &mut [T], usize) + Sync,
+{
+    let len = data.len();
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        let mut state = init();
+        body(&mut state, data, 0);
+        return;
+    }
+    let ranges = chunk_ranges(len, nthreads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        let body = &body;
+        let init = &init;
+        for range in &ranges {
+            let (head, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let offset = consumed;
+            consumed += range.len();
+            scope.spawn(move || {
+                let mut state = init();
+                body(&mut state, head, offset);
+            });
+        }
+    });
+}
+
+/// Run `body(start, end)` over contiguous sub-ranges of `0..len` in parallel.
+///
+/// Useful when the body indexes several shared read-only arrays rather than
+/// a single mutable slice (e.g. SpMV reading the matrix and writing disjoint
+/// rows of the output through raw chunking done by the caller).
+pub fn parallel_for_range<F>(len: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        if len > 0 {
+            body(0, len);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(len, nthreads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        for range in ranges {
+            scope.spawn(move || body(range.start, range.end));
+        }
+    });
+}
+
+/// Run two independent closures in parallel and return both results.
+pub fn parallel_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        let ra = handle.join().expect("parallel_join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Run `body(out_chunk, in_chunk, offset)` over aligned chunks of an output
+/// and an input slice of equal length.
+///
+/// Panics if the two slices have different lengths.
+pub fn parallel_zip_chunks<T, U, F>(out: &mut [T], input: &[U], body: F)
+where
+    T: Send,
+    U: Sync,
+    F: Fn(&mut [T], &[U], usize) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        input.len(),
+        "parallel_zip_chunks: slice lengths differ"
+    );
+    let len = out.len();
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        body(out, input, 0);
+        return;
+    }
+    let ranges = chunk_ranges(len, nthreads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut consumed = 0usize;
+        let body = &body;
+        for range in &ranges {
+            let (head, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let offset = consumed;
+            consumed += range.len();
+            let in_chunk = &input[range.start..range.end];
+            scope.spawn(move || body(head, in_chunk, offset));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_chunks_visits_every_element_once() {
+        let mut v = vec![0u32; 10_000];
+        parallel_for_chunks(&mut v, |chunk, _| {
+            for x in chunk.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_chunks_offsets_are_global_indices() {
+        let mut v = vec![0usize; 5_000];
+        parallel_for_chunks(&mut v, |chunk, offset| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = offset + i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn for_chunks_with_builds_state_per_worker() {
+        let mut v = vec![1.0f64; 4096];
+        parallel_for_chunks_with(
+            &mut v,
+            || vec![0.0f64; 4],
+            |scratch, chunk, _| {
+                scratch[0] = 2.0;
+                for x in chunk.iter_mut() {
+                    *x *= scratch[0];
+                }
+            },
+        );
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn for_range_covers_whole_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        parallel_for_range(12_345, |start, end| {
+            counter.fetch_add(end - start, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 12_345);
+    }
+
+    #[test]
+    fn for_range_empty_is_noop() {
+        parallel_for_range(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = parallel_join(|| 21 * 2, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn zip_chunks_aligns_input_and_output() {
+        let input: Vec<f64> = (0..3000).map(|i| i as f64).collect();
+        let mut out = vec![0.0f64; 3000];
+        parallel_zip_chunks(&mut out, &input, |o, i, _| {
+            for (a, b) in o.iter_mut().zip(i) {
+                *a = 2.0 * b;
+            }
+        });
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths differ")]
+    fn zip_chunks_rejects_mismatched_lengths() {
+        let mut out = vec![0.0f64; 3];
+        parallel_zip_chunks(&mut out, &[1.0f64, 2.0], |_, _, _| {});
+    }
+}

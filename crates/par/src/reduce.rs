@@ -1,0 +1,174 @@
+//! Parallel reductions.
+//!
+//! All reductions use the deterministic chunking from [`crate::chunk_ranges`]
+//! and combine the per-chunk partial results in chunk order, so the result of
+//! a floating-point reduction does not depend on thread scheduling (it may
+//! still differ from a purely serial left-to-right sum because the partials
+//! are combined tree-style; that difference is within the usual rounding
+//! bounds and is deterministic run to run).
+
+use crate::chunk::chunk_ranges;
+use crate::config::num_threads_for;
+use std::ops::Range;
+
+/// Parallel map-reduce over an index range.
+///
+/// Each index `i` in `range` is mapped with `map(i)` and the results are
+/// folded with `combine`, starting from `identity` within each chunk and then
+/// across chunks in chunk order.
+pub fn parallel_map_reduce<T, M, C>(range: Range<usize>, identity: T, map: M, combine: C) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        let mut acc = identity;
+        for i in range {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    let chunks = chunk_ranges(len, nthreads);
+    let partials: Vec<T> = std::thread::scope(|scope| {
+        let map = &map;
+        let combine = &combine;
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                let start = range.start + c.start;
+                let end = range.start + c.end;
+                let identity = identity.clone();
+                scope.spawn(move || {
+                    let mut acc = identity;
+                    for i in start..end {
+                        acc = combine(acc, map(i));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map_reduce worker panicked"))
+            .collect()
+    });
+    let mut acc = identity;
+    for p in partials {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Parallel reduction over contiguous chunks of a read-only slice.
+///
+/// `map_chunk(chunk, offset)` produces one partial result per chunk; the
+/// partials are combined in chunk order.
+pub fn parallel_reduce_chunks<T, U, M, C>(data: &[U], identity: T, map_chunk: M, combine: C) -> T
+where
+    T: Send + Clone,
+    U: Sync,
+    M: Fn(&[U], usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let len = data.len();
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        return combine(identity, map_chunk(data, 0));
+    }
+    let chunks = chunk_ranges(len, nthreads);
+    let partials: Vec<T> = std::thread::scope(|scope| {
+        let map_chunk = &map_chunk;
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                let chunk = &data[c.start..c.end];
+                let offset = c.start;
+                scope.spawn(move || map_chunk(chunk, offset))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_reduce_chunks worker panicked"))
+            .collect()
+    });
+    let mut acc = identity;
+    for p in partials {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Parallel sum of a slice of `f64`.
+pub fn parallel_sum(data: &[f64]) -> f64 {
+    parallel_reduce_chunks(data, 0.0, |chunk, _| chunk.iter().sum::<f64>(), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_reduce_matches_serial() {
+        let serial: u64 = (0..100_000u64).map(|i| i * i).sum();
+        let par = parallel_map_reduce(0..100_000, 0u64, |i| (i as u64) * (i as u64), |a, b| a + b);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn map_reduce_empty_range_is_identity() {
+        let r = parallel_map_reduce(10..10, 7i64, |_| 1, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn reduce_chunks_matches_iter_sum() {
+        let data: Vec<f64> = (0..50_000).map(|i| (i % 17) as f64 * 0.25).collect();
+        let expect: f64 = data.iter().sum();
+        let got = parallel_sum(&data);
+        assert!((got - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn reduce_chunks_offsets_are_correct() {
+        let data = vec![1.0f64; 10_000];
+        // Sum of global indices computed via offsets must equal n*(n-1)/2.
+        let got = parallel_reduce_chunks(
+            &data,
+            0.0f64,
+            |chunk, offset| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| (offset + i) as f64)
+                    .sum::<f64>()
+            },
+            |a, b| a + b,
+        );
+        let n = 10_000f64;
+        assert_eq!(got, n * (n - 1.0) / 2.0);
+    }
+
+    #[test]
+    fn parallel_sum_is_deterministic() {
+        let data: Vec<f64> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3).collect();
+        let a = parallel_sum(&data);
+        let b = parallel_sum(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_reduction_works() {
+        let data: Vec<f64> = (0..20_000).map(|i| ((i * 31) % 997) as f64).collect();
+        let expect = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let got = parallel_reduce_chunks(
+            &data,
+            f64::NEG_INFINITY,
+            |chunk, _| chunk.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            f64::max,
+        );
+        assert_eq!(got, expect);
+    }
+}

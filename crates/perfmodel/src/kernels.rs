@@ -1,0 +1,177 @@
+//! Per-kernel cost functions.
+//!
+//! Every kernel the orthogonalization schemes and the solver execute is
+//! mapped to a roofline time on the machine model.  The shapes follow the
+//! actual implementations in the `dense`/`blockortho` crates: tall-skinny
+//! GEMMs that read the long operands once, small Cholesky/TRSM factors that
+//! are replicated and effectively free on the GPU scale, and the SpMV /
+//! halo-exchange pair of the matrix-powers kernel.
+
+use crate::machine::MachineModel;
+
+/// Kernel cost calculator bound to one machine model and one local problem
+/// size (rows per rank).
+#[derive(Debug, Clone)]
+pub struct KernelCosts<'a> {
+    machine: &'a MachineModel,
+    /// Rows of the Krylov basis owned by this rank.
+    pub local_rows: usize,
+    /// Number of MPI ranks.
+    pub nranks: usize,
+}
+
+impl<'a> KernelCosts<'a> {
+    /// Create a calculator for `local_rows` rows per rank on `nranks` ranks.
+    pub fn new(machine: &'a MachineModel, local_rows: usize, nranks: usize) -> Self {
+        Self {
+            machine,
+            local_rows,
+            nranks,
+        }
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &MachineModel {
+        self.machine
+    }
+
+    /// Local dot-product GEMM `C = AᵀB` with `A ∈ R^{n×k}`, `B ∈ R^{n×s}`
+    /// (the BCGS projection / Gram-matrix kernel).
+    pub fn gemm_tn(&self, k: usize, s: usize) -> f64 {
+        let n = self.local_rows as f64;
+        let bytes = 8.0 * n * (k as f64 + s as f64);
+        let flops = 2.0 * n * k as f64 * s as f64;
+        self.machine.roofline(bytes, flops, 1.0)
+    }
+
+    /// Local vector-update GEMM `V ← V − Q·R` with `Q ∈ R^{n×k}`,
+    /// `V ∈ R^{n×s}`.
+    pub fn gemm_update(&self, k: usize, s: usize) -> f64 {
+        let n = self.local_rows as f64;
+        let bytes = 8.0 * n * (k as f64 + 2.0 * s as f64);
+        let flops = 2.0 * n * k as f64 * s as f64;
+        self.machine.roofline(bytes, flops, 1.0)
+    }
+
+    /// Local triangular normalization `Q ← V·R⁻¹` (TRSM) on `s` columns.
+    pub fn trsm(&self, s: usize) -> f64 {
+        let n = self.local_rows as f64;
+        let bytes = 8.0 * n * 2.0 * s as f64;
+        let flops = n * (s * s) as f64;
+        self.machine.roofline(bytes, flops, 1.0)
+    }
+
+    /// Small replicated work (Cholesky of an `s×s` Gram matrix, triangular
+    /// updates): done redundantly on every rank; modeled as a handful of
+    /// kernel launches plus cubic work at host speed.
+    pub fn small_factorization(&self, s: usize) -> f64 {
+        let flops = (s * s * s) as f64 / 3.0;
+        self.machine.kernel_launch + flops / 5.0e9
+    }
+
+    /// One global sum all-reduce of `words` `f64` words.
+    pub fn allreduce(&self, words: usize) -> f64 {
+        self.machine.allreduce(words, self.nranks)
+    }
+
+    /// One local SpMV with `nnz_local` nonzeros plus its halo exchange of
+    /// `ghost_words` words over `neighbors` messages.
+    pub fn spmv(&self, nnz_local: usize, ghost_words: usize, neighbors: usize) -> f64 {
+        let n = self.local_rows as f64;
+        // 8-byte value + 4-byte column index per nonzero, plus the in/out
+        // vectors.
+        let bytes = 12.0 * nnz_local as f64 + 16.0 * n;
+        let flops = 2.0 * nnz_local as f64;
+        let local = self.machine.roofline(bytes, flops, 1.0);
+        let halo = if self.nranks > 1 {
+            self.machine.halo_exchange(ghost_words, neighbors)
+        } else {
+            0.0
+        };
+        local + halo
+    }
+
+    /// One local Gauss–Seidel sweep (same traffic as an SpMV plus the
+    /// diagonal scaling).
+    pub fn gs_sweep(&self, nnz_local: usize) -> f64 {
+        let n = self.local_rows as f64;
+        let bytes = 12.0 * nnz_local as f64 + 24.0 * n;
+        let flops = 2.0 * nnz_local as f64 + 2.0 * n;
+        self.machine.roofline(bytes, flops, 1.0)
+    }
+
+    /// A single long-vector AXPY or scaling.
+    pub fn axpy(&self) -> f64 {
+        let n = self.local_rows as f64;
+        self.machine.roofline(24.0 * n, 2.0 * n, 1.0)
+    }
+
+    /// A single long-vector dot product (local part only — add
+    /// [`Self::allreduce`] for the global reduction).
+    pub fn dot_local(&self) -> f64 {
+        let n = self.local_rows as f64;
+        self.machine.roofline(16.0 * n, 2.0 * n, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(machine: &MachineModel) -> KernelCosts<'_> {
+        KernelCosts::new(machine, 1_000_000, 32)
+    }
+
+    #[test]
+    fn bigger_blocks_amortize_launch_overhead() {
+        let m = MachineModel::summit_node();
+        let c = costs(&m);
+        // One GEMM over 60 columns must be cheaper than 12 GEMMs over 5.
+        let one_big = c.gemm_tn(60, 60);
+        let many_small: f64 = (0..12).map(|_| c.gemm_tn(60, 5)).sum();
+        assert!(one_big < many_small);
+    }
+
+    #[test]
+    fn gemm_cost_grows_with_previous_block_width() {
+        let m = MachineModel::summit_node();
+        let c = costs(&m);
+        assert!(c.gemm_tn(50, 5) > c.gemm_tn(10, 5));
+        assert!(c.gemm_update(50, 5) > c.gemm_update(10, 5));
+    }
+
+    #[test]
+    fn allreduce_dominates_small_gemm_at_scale() {
+        // On many ranks the latency of a reduce exceeds the local work on a
+        // small panel — the paper's core observation.
+        let m = MachineModel::summit_node();
+        let small_local = KernelCosts::new(&m, 20_000, 192);
+        assert!(small_local.allreduce(36) > small_local.gemm_tn(5, 5));
+    }
+
+    #[test]
+    fn spmv_includes_halo_only_in_parallel_runs() {
+        let m = MachineModel::summit_node();
+        let serial = KernelCosts::new(&m, 1_000_000, 1);
+        let parallel = KernelCosts::new(&m, 1_000_000, 8);
+        let t_serial = serial.spmv(5_000_000, 2_000, 2);
+        let t_parallel = parallel.spmv(5_000_000, 2_000, 2);
+        assert!(t_parallel > t_serial);
+    }
+
+    #[test]
+    fn small_factorization_is_negligible_compared_to_tall_kernels() {
+        let m = MachineModel::summit_node();
+        let c = costs(&m);
+        assert!(c.small_factorization(5) < c.gemm_tn(60, 5) / 5.0);
+    }
+
+    #[test]
+    fn vector_kernels_have_sane_magnitudes() {
+        let m = MachineModel::summit_node();
+        let c = KernelCosts::new(&m, 4_000_000 / 6, 6);
+        // A long-vector axpy on ~670k rows at 750 GB/s ≈ 20 µs + launch.
+        assert!(c.axpy() > 1e-6 && c.axpy() < 1e-3);
+        assert!(c.dot_local() > 1e-6 && c.dot_local() < 1e-3);
+    }
+}

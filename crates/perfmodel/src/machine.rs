@@ -1,0 +1,160 @@
+//! Machine description (roofline + network parameters).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one GPU and of the interconnect, per MPI rank
+/// (the paper runs one MPI rank per GPU).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable name of the preset.
+    pub name: String,
+    /// Sustained GPU memory bandwidth in bytes/s (V100 ≈ 0.8 of 900 GB/s).
+    pub mem_bandwidth: f64,
+    /// Sustained double-precision flop rate in flop/s for compute-bound
+    /// kernels (V100 ≈ 6.5 Tflop/s for large GEMM).
+    pub flop_rate: f64,
+    /// Fixed overhead per GPU kernel launch / BLAS call, in seconds
+    /// (≈ 5–10 µs; this is what makes many small BLAS calls expensive).
+    pub kernel_launch: f64,
+    /// All-reduce latency per communication round, in seconds
+    /// (MPI + GPU-direct overhead per log₂(p) stage).
+    pub allreduce_latency: f64,
+    /// All-reduce per-word bandwidth term, in seconds per byte.
+    pub allreduce_byte_time: f64,
+    /// Point-to-point message latency (halo exchange), in seconds.
+    pub p2p_latency: f64,
+    /// Point-to-point bandwidth, in bytes/s.
+    pub p2p_bandwidth: f64,
+    /// Number of GPUs (MPI ranks) per node.
+    pub gpus_per_node: usize,
+}
+
+impl MachineModel {
+    /// A Summit node: 6 NVIDIA V100 GPUs, NVLink within the node, dual-rail
+    /// EDR InfiniBand between nodes (the machine of Tables III/IV and
+    /// Figs. 10–13).
+    pub fn summit_node() -> Self {
+        Self {
+            name: "summit".to_string(),
+            mem_bandwidth: 750.0e9,
+            flop_rate: 6.0e12,
+            kernel_launch: 8.0e-6,
+            allreduce_latency: 18.0e-6,
+            allreduce_byte_time: 1.0 / 8.0e9,
+            p2p_latency: 6.0e-6,
+            p2p_bandwidth: 12.0e9,
+            gpus_per_node: 6,
+        }
+    }
+
+    /// A Vortex node (Sandia ATS testbed): 4 NVIDIA V100 GPUs per node
+    /// (the machine of Table II).
+    pub fn vortex_node() -> Self {
+        Self {
+            name: "vortex".to_string(),
+            mem_bandwidth: 750.0e9,
+            flop_rate: 6.0e12,
+            kernel_launch: 8.0e-6,
+            allreduce_latency: 15.0e-6,
+            allreduce_byte_time: 1.0 / 8.0e9,
+            p2p_latency: 6.0e-6,
+            p2p_bandwidth: 12.0e9,
+            gpus_per_node: 4,
+        }
+    }
+
+    /// Time for a memory- and compute-roofline kernel touching `bytes` bytes
+    /// and performing `flops` floating-point operations, issued as
+    /// `launches` GPU kernels.
+    pub fn roofline(&self, bytes: f64, flops: f64, launches: f64) -> f64 {
+        let mem = bytes / self.mem_bandwidth;
+        let cmp = flops / self.flop_rate;
+        launches * self.kernel_launch + mem.max(cmp)
+    }
+
+    /// Time of one sum all-reduce of `words` `f64` words over `nranks`
+    /// ranks.
+    pub fn allreduce(&self, words: usize, nranks: usize) -> f64 {
+        if nranks <= 1 {
+            // A single rank still pays a device synchronization to read the
+            // result on the host.
+            return self.kernel_launch;
+        }
+        let stages = (nranks as f64).log2().ceil().max(1.0);
+        stages * self.allreduce_latency + (words as f64) * 8.0 * self.allreduce_byte_time
+    }
+
+    /// Time of a neighbourhood (halo) exchange of `words` `f64` words spread
+    /// over `neighbors` messages.
+    pub fn halo_exchange(&self, words: usize, neighbors: usize) -> f64 {
+        if neighbors == 0 {
+            return 0.0;
+        }
+        neighbors as f64 * self.p2p_latency + (words as f64) * 8.0 / self.p2p_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_gpus_per_node() {
+        assert_eq!(MachineModel::summit_node().gpus_per_node, 6);
+        assert_eq!(MachineModel::vortex_node().gpus_per_node, 4);
+    }
+
+    #[test]
+    fn roofline_is_monotone_in_bytes_and_flops() {
+        let m = MachineModel::summit_node();
+        let t1 = m.roofline(1e6, 1e6, 1.0);
+        let t2 = m.roofline(2e6, 1e6, 1.0);
+        let t3 = m.roofline(2e6, 1e12, 1.0);
+        assert!(t2 >= t1);
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let m = MachineModel::summit_node();
+        let t = m.roofline(100.0, 100.0, 1.0);
+        assert!(t < 2.0 * m.kernel_launch);
+        assert!(t >= m.kernel_launch);
+    }
+
+    #[test]
+    fn allreduce_latency_grows_logarithmically() {
+        let m = MachineModel::summit_node();
+        let t6 = m.allreduce(25, 6);
+        let t192 = m.allreduce(25, 192);
+        assert!(t192 > t6);
+        // log2(192)/log2(6) = 7.58/2.58 ≈ 2.9; the small-message time must
+        // grow by roughly that factor, not linearly in ranks (192/6 = 32).
+        assert!(t192 / t6 < 4.0);
+        assert!(m.allreduce(25, 1) < t6);
+    }
+
+    #[test]
+    fn allreduce_volume_term_matters_for_large_buffers() {
+        let m = MachineModel::summit_node();
+        let small = m.allreduce(25, 32);
+        let large = m.allreduce(4_000_000, 32);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn halo_exchange_scales_with_neighbors_and_volume() {
+        let m = MachineModel::summit_node();
+        assert_eq!(m.halo_exchange(0, 0), 0.0);
+        let one = m.halo_exchange(1000, 1);
+        let two = m.halo_exchange(2000, 2);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn presets_are_cloneable_and_comparable() {
+        let m = MachineModel::summit_node();
+        assert_eq!(m.clone(), m);
+        assert_ne!(MachineModel::summit_node(), MachineModel::vortex_node());
+    }
+}

@@ -1,0 +1,139 @@
+//! Greedy distance-1 graph coloring.
+//!
+//! The paper's Fig. 13 uses the multicolor Gauss–Seidel smoother from
+//! Kokkos-Kernels as a local preconditioner: rows of the same color have no
+//! mutual couplings, so a Gauss–Seidel sweep can update all rows of one
+//! color in parallel, color by color.  This module provides the coloring;
+//! the preconditioner itself lives in the `ssgmres` crate.
+
+use crate::csr::Csr;
+
+/// A vertex coloring of the sparsity graph of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    /// Color of each row (0-based, contiguous).
+    pub color_of: Vec<usize>,
+    /// Rows grouped by color: `rows_by_color[c]` lists the rows with color `c`.
+    pub rows_by_color: Vec<Vec<usize>>,
+}
+
+impl Coloring {
+    /// Number of colors used.
+    pub fn num_colors(&self) -> usize {
+        self.rows_by_color.len()
+    }
+}
+
+/// Greedy first-fit coloring of the (symmetrized) sparsity graph of `a`.
+///
+/// Two rows `i ≠ j` receive different colors whenever `a[i][j] ≠ 0` or
+/// `a[j][i] ≠ 0`.  The diagonal is ignored.
+pub fn greedy_coloring(a: &Csr) -> Coloring {
+    assert_eq!(a.nrows(), a.ncols(), "coloring requires a square matrix");
+    let n = a.nrows();
+    // Symmetrize the adjacency structure so the coloring is valid for both
+    // A and Aᵀ couplings (Gauss–Seidel needs this for correctness of the
+    // parallel sweep).
+    let at = a.transpose();
+    let mut color_of = vec![usize::MAX; n];
+    let mut max_color = 0usize;
+    let mut forbidden = vec![usize::MAX; 1]; // forbidden[c] == i means color c is taken by a neighbour of i
+    for i in 0..n {
+        // Mark colors of already-colored neighbours.
+        for source in [&*a, &at] {
+            let (cols, _) = source.row(i);
+            for &j in cols {
+                if j != i && color_of[j] != usize::MAX {
+                    let c = color_of[j];
+                    if c >= forbidden.len() {
+                        forbidden.resize(c + 1, usize::MAX);
+                    }
+                    forbidden[c] = i;
+                }
+            }
+        }
+        // Pick the smallest non-forbidden color.
+        let mut c = 0;
+        while c < forbidden.len() && forbidden[c] == i {
+            c += 1;
+        }
+        color_of[i] = c;
+        max_color = max_color.max(c);
+    }
+    let mut rows_by_color = vec![Vec::new(); max_color + 1];
+    for (i, &c) in color_of.iter().enumerate() {
+        rows_by_color[c].push(i);
+    }
+    Coloring {
+        color_of,
+        rows_by_color,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Triplet;
+    use crate::stencil::{laplace2d_5pt, laplace2d_9pt};
+
+    fn assert_valid(a: &Csr, coloring: &Coloring) {
+        let at = a.transpose();
+        for i in 0..a.nrows() {
+            for source in [a, &at] {
+                let (cols, _) = source.row(i);
+                for &j in cols {
+                    if j != i {
+                        assert_ne!(
+                            coloring.color_of[i], coloring.color_of[j],
+                            "rows {i} and {j} are coupled but share a color"
+                        );
+                    }
+                }
+            }
+        }
+        // Every row appears exactly once in the grouping.
+        let total: usize = coloring.rows_by_color.iter().map(|v| v.len()).sum();
+        assert_eq!(total, a.nrows());
+    }
+
+    #[test]
+    fn five_point_laplacian_is_two_colorable() {
+        let a = laplace2d_5pt(8, 8);
+        let c = greedy_coloring(&a);
+        assert_valid(&a, &c);
+        assert_eq!(c.num_colors(), 2, "red-black ordering of the 5-pt stencil");
+    }
+
+    #[test]
+    fn nine_point_laplacian_needs_four_colors() {
+        let a = laplace2d_9pt(8, 8);
+        let c = greedy_coloring(&a);
+        assert_valid(&a, &c);
+        assert!(c.num_colors() <= 5, "greedy should stay near 4 colors, got {}", c.num_colors());
+        assert!(c.num_colors() >= 4);
+    }
+
+    #[test]
+    fn diagonal_matrix_uses_one_color() {
+        let a = Csr::identity(10);
+        let c = greedy_coloring(&a);
+        assert_eq!(c.num_colors(), 1);
+    }
+
+    #[test]
+    fn nonsymmetric_couplings_are_respected() {
+        // 0 -> 1 coupling only in one direction must still force different colors.
+        let a = Csr::from_triplets(
+            2,
+            2,
+            &[
+                Triplet { row: 0, col: 0, val: 1.0 },
+                Triplet { row: 1, col: 1, val: 1.0 },
+                Triplet { row: 0, col: 1, val: 0.5 },
+            ],
+        );
+        let c = greedy_coloring(&a);
+        assert_valid(&a, &c);
+        assert_eq!(c.num_colors(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sparse — CSR matrices, SpMV and the paper's sparse workloads
+//!
+//! The sparse-matrix substrate of the two-stage GMRES reproduction:
+//!
+//! * [`csr::Csr`] — compressed sparse row storage with a parallel
+//!   sparse-matrix–vector product ([`csr::Csr::spmv`]), the only sparse
+//!   kernel the s-step GMRES matrix-powers kernel needs;
+//! * [`stencil`] — generators for the model problems of the evaluation
+//!   section: 2D Laplace on 5-point and 9-point stencils, 3D Laplace on a
+//!   7-point stencil, and a 3-dof 3D elasticity-like operator;
+//! * [`suitelike`] — synthetic surrogates for the SuiteSparse matrices used
+//!   in Table IV and Fig. 9 (same dimensions, nnz/row, symmetry class), plus
+//!   the row/column max-scaling the paper applies before running MPK;
+//! * [`mm`] — Matrix Market I/O so the real SuiteSparse files can be dropped
+//!   in when available;
+//! * [`coloring`] — greedy multicoloring (the Kokkos-Kernels multicolor
+//!   Gauss–Seidel surrogate used by the preconditioner in Fig. 13);
+//! * [`partition`] — 1D block-row partitioning (the distribution the paper
+//!   uses across MPI ranks) and halo/ghost-column analysis for the
+//!   neighborhood exchange of a distributed SpMV.
+
+pub mod coloring;
+pub mod csr;
+pub mod mm;
+pub mod partition;
+pub mod scaling;
+pub mod stencil;
+pub mod suitelike;
+
+pub use coloring::{greedy_coloring, Coloring};
+pub use csr::{Csr, Triplet};
+pub use mm::{read_matrix_market, write_matrix_market};
+pub use partition::{block_row_partition, halo_columns, RowPartition};
+pub use scaling::scale_rows_cols_by_max;
+pub use stencil::{elasticity3d, laplace2d_5pt, laplace2d_9pt, laplace3d_7pt};
+pub use suitelike::{suitesparse_surrogate, SuiteLikeSpec, SUITE_SPARSE_SET};

@@ -1,0 +1,224 @@
+//! Minimal Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` formats, which covers the
+//! SuiteSparse matrices the paper uses.  Symmetric files are expanded to
+//! full storage on read (as Trilinos does when it ingests them).
+
+use crate::csr::{Csr, Triplet};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a Matrix Market file or uses an unsupported variant.
+    Format(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Format(msg) => write!(f, "Matrix Market format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Read a Matrix Market coordinate file into CSR form.
+pub fn read_matrix_market(path: &Path) -> Result<Csr, MmError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file))
+}
+
+/// Read Matrix Market data from any buffered reader (exposed for tests).
+pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = reader.lines();
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(MmError::Format("empty file".into())),
+        }
+    };
+    let header_lower = header.to_lowercase();
+    if !header_lower.starts_with("%%matrixmarket") {
+        return Err(MmError::Format("missing %%MatrixMarket header".into()));
+    }
+    let tokens: Vec<&str> = header_lower.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(MmError::Format(format!("unsupported header: {header}")));
+    }
+    let field = tokens[3];
+    if field != "real" && field != "pattern" && field != "integer" {
+        return Err(MmError::Format(format!("unsupported field type: {field}")));
+    }
+    let symmetry = tokens[4];
+    if symmetry != "general" && symmetry != "symmetric" {
+        return Err(MmError::Format(format!("unsupported symmetry: {symmetry}")));
+    }
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(MmError::Format("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| MmError::Format(format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(MmError::Format("size line must have 3 fields".into()));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    let mut triplets = Vec::with_capacity(if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| MmError::Format("missing row index".into()))?
+            .parse()
+            .map_err(|e| MmError::Format(format!("bad row index: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| MmError::Format("missing col index".into()))?
+            .parse()
+            .map_err(|e| MmError::Format(format!("bad col index: {e}")))?;
+        let v: f64 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| MmError::Format(format!("bad value: {e}")))?,
+            None => {
+                if field == "pattern" {
+                    1.0
+                } else {
+                    return Err(MmError::Format("missing value".into()));
+                }
+            }
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(MmError::Format(format!("entry ({i}, {j}) out of bounds")));
+        }
+        triplets.push(Triplet { row: i - 1, col: j - 1, val: v });
+        if symmetry == "symmetric" && i != j {
+            triplets.push(Triplet { row: j - 1, col: i - 1, val: v });
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(MmError::Format(format!(
+            "expected {nnz} entries, found {read}"
+        )));
+    }
+    Ok(Csr::from_triplets(nrows, ncols, &triplets))
+}
+
+/// Write a CSR matrix as a `matrix coordinate real general` Matrix Market
+/// file.
+pub fn write_matrix_market(path: &Path, a: &Csr) -> Result<(), MmError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by the two-stage GMRES reproduction")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", i + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::laplace2d_5pt;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_general_real_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 4\n1 1 2.0\n2 2 3.0\n3 3 4.0\n1 3 -1.0\n";
+        let a = read_matrix_market_from(Cursor::new(text)).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.to_dense()[(0, 2)], -1.0);
+    }
+
+    #[test]
+    fn symmetric_files_are_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 -1.0\n";
+        let a = read_matrix_market_from(Cursor::new(text)).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.to_dense()[(0, 1)], -1.0);
+        assert_eq!(a.to_dense()[(1, 0)], -1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn pattern_files_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let a = read_matrix_market_from(Cursor::new(text)).unwrap();
+        assert_eq!(a.to_dense()[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_counts() {
+        assert!(read_matrix_market_from(Cursor::new("not a header\n1 1 0\n")).is_err());
+        assert!(read_matrix_market_from(Cursor::new(
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n"
+        ))
+        .is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_matrix_market_from(Cursor::new(short)).unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let a = laplace2d_5pt(5, 4);
+        let dir = std::env::temp_dir().join("two_stage_gmres_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("laplace.mtx");
+        write_matrix_market(&path, &a).unwrap();
+        let b = read_matrix_market(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+}

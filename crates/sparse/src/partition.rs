@@ -1,0 +1,195 @@
+//! 1D block-row partitioning and halo analysis.
+//!
+//! The paper distributes matrices and vectors "among MPI processes in 1D
+//! block row format".  This module computes the contiguous row ranges owned
+//! by each rank (balanced either by rows or by nonzeros — the latter is what
+//! a graph partitioner like ParMETIS effectively achieves for the stencil
+//! and stencil-like matrices used in the evaluation) and, for a given local
+//! row block, the set of non-owned columns whose values must be received
+//! from neighbouring ranks before a local SpMV (the "halo"/ghost exchange).
+
+use crate::csr::Csr;
+
+/// A 1D block-row partition of `n` rows over `nranks` ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    /// `offsets[r]..offsets[r+1]` is the row range owned by rank `r`.
+    pub offsets: Vec<usize>,
+}
+
+impl RowPartition {
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of rows.
+    pub fn nrows(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Row range `[start, end)` owned by rank `r`.
+    pub fn range(&self, r: usize) -> (usize, usize) {
+        (self.offsets[r], self.offsets[r + 1])
+    }
+
+    /// Number of rows owned by rank `r`.
+    pub fn local_rows(&self, r: usize) -> usize {
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// The rank that owns global row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.nrows(), "row {i} out of range");
+        // Binary search over the offsets.
+        match self.offsets.binary_search(&i) {
+            Ok(r) => {
+                // `i` is the first row of rank r unless r is the end sentinel.
+                if r == self.offsets.len() - 1 {
+                    r - 1
+                } else {
+                    r
+                }
+            }
+            Err(r) => r - 1,
+        }
+    }
+}
+
+/// Partition `n` rows over `nranks` ranks into contiguous blocks of nearly
+/// equal row counts.
+pub fn block_row_partition(n: usize, nranks: usize) -> RowPartition {
+    assert!(nranks >= 1, "need at least one rank");
+    let ranges = parkit::chunk_ranges(n, nranks);
+    let mut offsets = Vec::with_capacity(nranks + 1);
+    offsets.push(0);
+    let mut covered = 0;
+    for r in &ranges {
+        covered = r.end;
+        offsets.push(r.end);
+    }
+    // `chunk_ranges` never produces more chunks than rows; pad empty ranks.
+    while offsets.len() < nranks + 1 {
+        offsets.push(covered);
+    }
+    RowPartition { offsets }
+}
+
+/// Partition rows so each rank owns (approximately) the same number of
+/// nonzeros; this is the load balance a graph partitioner would deliver for
+/// the matrices in the paper's evaluation.
+pub fn nnz_balanced_partition(a: &Csr, nranks: usize) -> RowPartition {
+    assert!(nranks >= 1, "need at least one rank");
+    let n = a.nrows();
+    let total = a.nnz();
+    let target = (total as f64 / nranks as f64).max(1.0);
+    let mut offsets = vec![0usize];
+    let mut acc = 0usize;
+    let mut next_target = target;
+    for i in 0..n {
+        acc += a.rowptr()[i + 1] - a.rowptr()[i];
+        // Close the block when the running nnz crosses the next target, but
+        // never create more than nranks blocks.
+        if (acc as f64) >= next_target && offsets.len() < nranks {
+            offsets.push(i + 1);
+            next_target += target;
+        }
+    }
+    while offsets.len() < nranks + 1 {
+        offsets.push(n);
+    }
+    RowPartition { offsets }
+}
+
+/// For the local row block `[row_start, row_end)` of `a`, the sorted list of
+/// non-owned global columns referenced by the block — i.e. the ghost values
+/// a rank must receive before computing its local part of `A·x`.
+pub fn halo_columns(a: &Csr, row_start: usize, row_end: usize) -> Vec<usize> {
+    let mut ghost: Vec<usize> = Vec::new();
+    for i in row_start..row_end {
+        let (cols, _) = a.row(i);
+        for &c in cols {
+            if c < row_start || c >= row_end {
+                ghost.push(c);
+            }
+        }
+    }
+    ghost.sort_unstable();
+    ghost.dedup();
+    ghost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{laplace2d_5pt, laplace3d_7pt};
+
+    #[test]
+    fn block_partition_covers_all_rows() {
+        let p = block_row_partition(103, 8);
+        assert_eq!(p.nranks(), 8);
+        assert_eq!(p.nrows(), 103);
+        let mut total = 0;
+        for r in 0..8 {
+            total += p.local_rows(r);
+        }
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn more_ranks_than_rows_leaves_empty_ranks() {
+        let p = block_row_partition(3, 5);
+        assert_eq!(p.nranks(), 5);
+        assert_eq!(p.nrows(), 3);
+        assert_eq!(p.local_rows(4), 0);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_ranges() {
+        let p = block_row_partition(100, 7);
+        for r in 0..7 {
+            let (lo, hi) = p.range(r);
+            for i in lo..hi {
+                assert_eq!(p.owner(i), r, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_partition_balances_within_tolerance() {
+        let a = laplace3d_7pt(12, 12, 12);
+        let p = nnz_balanced_partition(&a, 6);
+        assert_eq!(p.nrows(), a.nrows());
+        let mut sizes = Vec::new();
+        for r in 0..6 {
+            let (lo, hi) = p.range(r);
+            let nnz = a.rowptr()[hi] - a.rowptr()[lo];
+            sizes.push(nnz);
+        }
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 1.5, "imbalance {sizes:?}");
+    }
+
+    #[test]
+    fn halo_of_interior_block_is_the_stencil_boundary() {
+        // 2D 5-pt Laplacian on a 10x10 grid, rows 30..60 (3 grid rows): the
+        // halo is exactly the grid rows directly above and below the block.
+        let a = laplace2d_5pt(10, 10);
+        let ghosts = halo_columns(&a, 30, 60);
+        let expect: Vec<usize> = (20..30).chain(60..70).collect();
+        assert_eq!(ghosts, expect);
+    }
+
+    #[test]
+    fn halo_of_whole_matrix_is_empty() {
+        let a = laplace2d_5pt(6, 6);
+        assert!(halo_columns(&a, 0, 36).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        block_row_partition(10, 0);
+    }
+}

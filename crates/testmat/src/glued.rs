@@ -1,0 +1,171 @@
+//! "Glued" matrices (Figs. 7–8 of the paper).
+//!
+//! A glued matrix is a block matrix `V = [V₁, V₂, …, V_k]` in which every
+//! panel `V_j` has the same prescribed condition number `κ_panel`, while the
+//! condition number of the accumulated matrix `V_{1:j}` grows geometrically
+//! with `j` until it reaches `κ_panel · κ_glue` for the full matrix.  This is
+//! the classic stress test for block Gram–Schmidt: a method that only looks
+//! at one panel at a time sees benign inputs, but the concatenated basis can
+//! be far worse conditioned.
+//!
+//! Construction: the panels live in mutually orthogonal subspaces (disjoint
+//! columns of one random orthonormal `n × (k·p)` matrix), each panel has
+//! log-spaced singular values `σ ∈ [1/κ_panel, 1]`, and panel `j` is scaled
+//! by `g^{-j}` with `g = κ_glue^{1/(k−1)}`.  Scaling does not change a
+//! panel's condition number, but the concatenation's singular values are the
+//! union of the scaled panel spectra, so
+//! `κ(V_{1:j}) ≈ g^{j−1} · κ_panel`, exactly the growth pattern reported in
+//! the paper's Fig. 8.
+
+use crate::logscaled::logspace_singular_values;
+use crate::random::random_orthonormal;
+use dense::Matrix;
+
+/// Parameters of a glued matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct GluedSpec {
+    /// Number of rows `n`.
+    pub nrows: usize,
+    /// Columns per panel `p` (the paper's `s` or `s+1`).
+    pub panel_cols: usize,
+    /// Number of panels `k`.
+    pub num_panels: usize,
+    /// Condition number of every individual panel.
+    pub panel_cond: f64,
+    /// Extra growth factor of the overall matrix relative to a panel:
+    /// `κ(V) ≈ panel_cond · glue_cond`.
+    pub glue_cond: f64,
+}
+
+/// Generate a glued matrix according to `spec` (see the module docs).
+pub fn glued_matrix(spec: &GluedSpec, seed: u64) -> Matrix {
+    let GluedSpec {
+        nrows,
+        panel_cols,
+        num_panels,
+        panel_cond,
+        glue_cond,
+    } = *spec;
+    assert!(panel_cols >= 1 && num_panels >= 1, "empty glued matrix");
+    assert!(panel_cond >= 1.0 && glue_cond >= 1.0, "condition numbers must be >= 1");
+    let total_cols = panel_cols * num_panels;
+    assert!(
+        nrows >= total_cols,
+        "glued_matrix: need nrows >= panel_cols * num_panels ({nrows} < {total_cols})"
+    );
+    // One global orthonormal basis; panel j uses columns j·p .. (j+1)·p.
+    let x = random_orthonormal(nrows, total_cols, seed.wrapping_mul(3).wrapping_add(1));
+    let sigma = logspace_singular_values(panel_cols, panel_cond);
+    let growth = if num_panels > 1 {
+        glue_cond.powf(1.0 / (num_panels as f64 - 1.0))
+    } else {
+        1.0
+    };
+    let mut v = Matrix::zeros(nrows, total_cols);
+    for j in 0..num_panels {
+        let scale = growth.powi(-(j as i32));
+        // Random orthogonal p×p mixing so panel columns are not trivially the
+        // basis directions.
+        let y = random_orthonormal(
+            panel_cols,
+            panel_cols,
+            seed.wrapping_mul(3).wrapping_add(2 + j as u64),
+        );
+        for c in 0..panel_cols {
+            let col = v.col_mut(j * panel_cols + c);
+            for k in 0..panel_cols {
+                let w = scale * sigma[k] * y[(c, k)];
+                dense::axpy(w, x.col(j * panel_cols + k), col);
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::cond_2;
+
+    fn spec() -> GluedSpec {
+        GluedSpec {
+            nrows: 600,
+            panel_cols: 5,
+            num_panels: 4,
+            panel_cond: 1e4,
+            glue_cond: 1e3,
+        }
+    }
+
+    #[test]
+    fn panel_condition_numbers_match_spec() {
+        let v = glued_matrix(&spec(), 1);
+        for j in 0..4 {
+            let panel = v.cols(j * 5..(j + 1) * 5);
+            let kappa = cond_2(&panel);
+            assert!(
+                kappa / 1e4 > 0.5 && kappa / 1e4 < 2.0,
+                "panel {j} cond = {kappa}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulated_condition_number_grows_geometrically() {
+        let v = glued_matrix(&spec(), 2);
+        let growth = 1e3f64.powf(1.0 / 3.0);
+        let mut prev = 0.0;
+        for j in 1..=4 {
+            let kappa = cond_2(&v.cols(0..j * 5));
+            assert!(kappa > prev, "cond must be nondecreasing");
+            let expect = 1e4 * growth.powi(j as i32 - 1);
+            assert!(
+                kappa / expect > 0.3 && kappa / expect < 3.0,
+                "prefix {j}: cond {kappa}, expected ~{expect}"
+            );
+            prev = kappa;
+        }
+    }
+
+    #[test]
+    fn full_matrix_condition_is_panel_times_glue() {
+        let v = glued_matrix(&spec(), 3);
+        let kappa = cond_2(&v.view());
+        let expect = 1e4 * 1e3;
+        assert!(
+            kappa / expect > 0.3 && kappa / expect < 3.0,
+            "overall cond {kappa}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn single_panel_degenerates_to_logscaled() {
+        let v = glued_matrix(
+            &GluedSpec {
+                nrows: 100,
+                panel_cols: 4,
+                num_panels: 1,
+                panel_cond: 1e5,
+                glue_cond: 1e8, // irrelevant with a single panel
+            },
+            4,
+        );
+        let kappa = cond_2(&v.view());
+        assert!(kappa / 1e5 > 0.5 && kappa / 1e5 < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nrows >= panel_cols * num_panels")]
+    fn rejects_too_many_columns() {
+        glued_matrix(
+            &GluedSpec {
+                nrows: 10,
+                panel_cols: 4,
+                num_panels: 4,
+                panel_cond: 10.0,
+                glue_cond: 10.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! "Logscaled" matrices with a prescribed condition number (Fig. 6).
+//!
+//! `V = X Σ Yᵀ` with random orthonormal `X ∈ R^{n×s}`, random orthogonal
+//! `Y ∈ R^{s×s}`, and `Σ` holding singular values spaced logarithmically
+//! between `1` and `1/κ`, so `κ₂(V) = κ` exactly (up to rounding).
+
+use crate::random::random_orthonormal;
+use dense::Matrix;
+
+/// Singular values logarithmically spaced from `1` down to `1/kappa`.
+pub fn logspace_singular_values(s: usize, kappa: f64) -> Vec<f64> {
+    assert!(s >= 1, "need at least one singular value");
+    assert!(kappa >= 1.0, "condition number must be >= 1");
+    if s == 1 {
+        return vec![1.0];
+    }
+    let log_min = -kappa.log10();
+    (0..s)
+        .map(|k| 10f64.powf(log_min * k as f64 / (s - 1) as f64))
+        .collect()
+}
+
+/// An `n × s` matrix with condition number `kappa` and logarithmically
+/// spaced singular values (the synthetic input of the paper's Fig. 6).
+pub fn logscaled_matrix(n: usize, s: usize, kappa: f64, seed: u64) -> Matrix {
+    assert!(n >= s, "logscaled_matrix: need n >= s");
+    let x = random_orthonormal(n, s, seed.wrapping_mul(2).wrapping_add(1));
+    let y = random_orthonormal(s, s, seed.wrapping_mul(2).wrapping_add(2));
+    let sigma = logspace_singular_values(s, kappa);
+    // V = X · diag(σ) · Yᵀ, built column by column:
+    // V[:, j] = Σ_k X[:, k] σ_k Y[j, k].
+    let mut v = Matrix::zeros(n, s);
+    for j in 0..s {
+        let vj = v.col_mut(j);
+        for k in 0..s {
+            let w = sigma[k] * y[(j, k)];
+            dense::axpy(w, x.col(k), vj);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::cond_2;
+
+    #[test]
+    fn logspace_endpoints_and_monotonicity() {
+        let s = logspace_singular_values(5, 1e8);
+        assert!((s[0] - 1.0).abs() < 1e-15);
+        assert!((s[4] - 1e-8).abs() < 1e-20);
+        for w in s.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn single_value_is_one() {
+        assert_eq!(logspace_singular_values(1, 1e10), vec![1.0]);
+    }
+
+    #[test]
+    fn condition_number_is_prescribed() {
+        for &kappa in &[1e2, 1e6, 1e10] {
+            let v = logscaled_matrix(400, 5, kappa, 3);
+            let measured = cond_2(&v.view());
+            let ratio = measured / kappa;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "kappa requested {kappa}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn well_conditioned_case_is_orthonormal_like() {
+        let v = logscaled_matrix(300, 4, 1.0, 11);
+        assert!((cond_2(&v.view()) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn different_seeds_give_different_matrices_same_cond() {
+        let a = logscaled_matrix(200, 5, 1e6, 1);
+        let b = logscaled_matrix(200, 5, 1e6, 2);
+        assert_ne!(a, b);
+        let ka = cond_2(&a.view());
+        let kb = cond_2(&b.view());
+        assert!((ka / kb - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n >= s")]
+    fn rejects_wide_shapes() {
+        logscaled_matrix(3, 5, 10.0, 0);
+    }
+}

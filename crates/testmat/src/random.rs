@@ -1,0 +1,91 @@
+//! Random dense building blocks (Gaussian matrices, orthonormal panels).
+
+use dense::{householder_qr, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw one standard-normal sample via the Box–Muller transform.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// An `nrows × ncols` matrix with i.i.d. standard-normal entries.
+pub fn random_dense(nrows: usize, ncols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..nrows * ncols).map(|_| standard_normal(&mut rng)).collect();
+    Matrix::from_col_major(nrows, ncols, data)
+}
+
+/// A random matrix with orthonormal columns, `nrows × ncols` (`nrows ≥ ncols`),
+/// obtained as the Q factor of a Gaussian matrix.
+pub fn random_orthonormal(nrows: usize, ncols: usize, seed: u64) -> Matrix {
+    assert!(
+        nrows >= ncols,
+        "random_orthonormal: need nrows >= ncols ({nrows} < {ncols})"
+    );
+    let g = random_dense(nrows, ncols, seed);
+    let (q, _) = householder_qr(&g);
+    q
+}
+
+/// A random unit-norm vector of length `n`.
+pub fn random_unit_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+    let norm = dense::nrm2(&v);
+    if norm > 0.0 {
+        dense::scal(1.0 / norm, &mut v);
+    } else {
+        v[0] = 1.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::{cond_2, nrm2, orthogonality_error};
+
+    #[test]
+    fn random_dense_is_seed_deterministic() {
+        let a = random_dense(20, 3, 123);
+        let b = random_dense(20, 3, 123);
+        let c = random_dense(20, 3, 124);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_dense_has_roughly_unit_variance() {
+        let a = random_dense(20_000, 1, 5);
+        let mean: f64 = a.data().iter().sum::<f64>() / 20_000.0;
+        let var: f64 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 20_000.0;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn orthonormal_panel_is_orthonormal() {
+        let q = random_orthonormal(800, 7, 9);
+        assert!(orthogonality_error(&q.view()) < 1e-13);
+        assert!((cond_2(&q.view()) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "nrows >= ncols")]
+    fn orthonormal_rejects_wide_shapes() {
+        random_orthonormal(3, 5, 0);
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let v = random_unit_vector(1000, 17);
+        assert!((nrm2(&v) - 1.0).abs() < 1e-14);
+    }
+}

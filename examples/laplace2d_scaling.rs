@@ -1,0 +1,71 @@
+//! Strong-scaling study on the 9-point 2D Laplace problem (the workload of
+//! the paper's Table III), combining a real multi-rank run on the simulated
+//! communicator with the analytic Summit performance model.
+//!
+//! Run with `cargo run --release --example laplace2d_scaling`.
+
+use distsim::{run_ranks, Communicator, DistCsr};
+use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
+use sparse::{block_row_partition, laplace2d_9pt};
+use ssgmres::{GmresConfig, Identity, OrthoKind, SStepGmres};
+use std::sync::Arc;
+
+fn main() {
+    // --- Part 1: a real distributed solve on 4 simulated ranks. ---
+    let nx = 120;
+    let a = laplace2d_9pt(nx, nx);
+    let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
+    let nranks = 4;
+    let part = block_row_partition(a.nrows(), nranks);
+    println!("Distributed solve of 2D Laplace {nx}x{nx} on {nranks} simulated ranks...");
+    let results = run_ranks(nranks, |comm| {
+        let rank = comm.rank();
+        let (lo, hi) = part.range(rank);
+        let comm_dyn: Arc<dyn Communicator> = comm.clone();
+        let dist = DistCsr::from_global(comm_dyn, &a, &part);
+        let mut x = vec![0.0; hi - lo];
+        let solver = SStepGmres::new(GmresConfig {
+            restart: 60,
+            step_size: 5,
+            tol: 1e-8,
+            ortho: OrthoKind::TwoStage { big_panel: 60 },
+            ..GmresConfig::default()
+        });
+        let result = solver.solve(&dist, &Identity, &b[lo..hi], &mut x);
+        let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+        (rank, result.converged, result.iterations, result.comm_ortho.allreduces, err)
+    });
+    for (rank, converged, iters, reduces, err) in &results {
+        println!(
+            "  rank {rank}: converged={converged} iters={iters} ortho-reduces={reduces} max|x-1|={err:.2e}"
+        );
+    }
+    assert!(results.iter().all(|r| r.1), "distributed solve must converge");
+
+    // --- Part 2: modeled strong scaling at the paper's size. ---
+    println!("\nModeled strong scaling, n = 2000^2, Summit nodes (6 GPUs each):");
+    println!(
+        "{:>6} {:>26} {:>10} {:>10} {:>10}",
+        "nodes", "variant", "SpMV (s)", "Ortho (s)", "Total (s)"
+    );
+    let machine = MachineModel::summit_node();
+    for nodes in [1usize, 4, 16, 32] {
+        let ranks = nodes * machine.gpus_per_node;
+        let problem = ProblemSpec::laplace2d(2000, 9, ranks);
+        for (label, scheme, iters) in [
+            ("GMRES + CGS2", SchemeKind::StandardCgs2, 60_251usize),
+            ("s-step + BCGS-PIP2", SchemeKind::BcgsPip2, 60_255),
+            ("s-step + two-stage", SchemeKind::TwoStage { bs: 60 }, 60_300),
+        ] {
+            let t = solver_time(scheme, &problem, &machine, ranks, 5, 60, iters, 0);
+            println!(
+                "{:>6} {:>26} {:>10.1} {:>10.1} {:>10.1}",
+                nodes,
+                label,
+                t.spmv,
+                t.ortho,
+                t.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Stability playground: reproduce (at reduced size) the paper's numerical
+//! study of Section VI — how the orthogonality error of each scheme behaves
+//! as the conditioning of the input panels grows.
+//!
+//! Run with `cargo run --release --example ortho_stability`.
+
+use blockortho::{orthogonalize_matrix, OrthoKind};
+use dense::{cond_2, orthogonality_error};
+use testmat::{glued_matrix, logscaled_matrix, GluedSpec};
+
+fn main() {
+    let n = 5_000;
+    let s = 5;
+
+    println!("CholQR2 vs HHQR on a single {n}x{s} panel (cf. Fig. 6):");
+    println!(
+        "{:>12} {:>16} {:>16} {:>16}",
+        "kappa(V)", "CholQR2 error", "HHQR error", "CholQR status"
+    );
+    for exp in [2, 4, 6, 8, 10, 12] {
+        let kappa = 10f64.powi(exp);
+        let v = logscaled_matrix(n, s, kappa, 1);
+        let chol = orthogonalize_matrix(OrthoKind::BcgsPip2, &v, s); // first panel == CholQR2
+        let (q_hh, _) = dense::householder_qr(&v);
+        let chol_err = match &chol {
+            Ok((q, _)) => format!("{:.2e}", orthogonality_error(&q.view())),
+            Err(_) => "-".to_string(),
+        };
+        println!(
+            "{:>12.1e} {:>16} {:>16.2e} {:>16}",
+            cond_2(&v.view()),
+            chol_err,
+            orthogonality_error(&q_hh.view()),
+            if chol.is_ok() { "ok" } else { "breakdown" }
+        );
+    }
+
+    println!("\nBlock schemes on glued matrices (cf. Figs. 7-8), panels of {s} columns:");
+    println!(
+        "{:>12} {:>20} {:>20} {:>20}",
+        "kappa(V)", "BCGS2-CholQR2", "BCGS-PIP2", "two-stage (bs=20)"
+    );
+    for exp in [3, 5, 7] {
+        let spec = GluedSpec {
+            nrows: n,
+            panel_cols: s,
+            num_panels: 8,
+            panel_cond: 10f64.powi(exp),
+            glue_cond: 10.0,
+        };
+        let v = glued_matrix(&spec, 3);
+        let err = |kind| match orthogonalize_matrix(kind, &v, s) {
+            Ok((q, _)) => format!("{:.2e}", orthogonality_error(&q.view())),
+            Err(e) => format!("breakdown ({e})"),
+        };
+        println!(
+            "{:>12.1e} {:>20} {:>20} {:>20}",
+            cond_2(&v.view()),
+            err(OrthoKind::Bcgs2CholQr2),
+            err(OrthoKind::BcgsPip2),
+            err(OrthoKind::TwoStage { big_panel: 20 }),
+        );
+    }
+    println!(
+        "\nAll schemes deliver O(eps) orthogonality while the conditioning stays below ~1e8\n\
+         (the 1/sqrt(eps) threshold of conditions (1)/(5)/(9) in the paper); beyond that the\n\
+         Cholesky-based kernels break down and Householder QR remains accurate."
+    );
+}

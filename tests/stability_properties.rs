@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) of the core numerical invariants the
+//! paper's analysis relies on.
+
+use blockortho::{orthogonalize_matrix, OrthoKind};
+use dense::{cond_2, orthogonality_error, Matrix};
+use proptest::prelude::*;
+use testmat::{glued_matrix, logscaled_matrix, GluedSpec};
+
+/// QR reconstruction check: `‖Q·R − V‖_max ≤ tol·‖V‖_max`.
+fn reconstructs(q: &Matrix, r: &Matrix, v: &Matrix, tol: f64) -> bool {
+    let back = dense::gemm_nn(q, r);
+    let scale = v.max_abs().max(1.0);
+    back.sub(v).max_abs() <= tol * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_schemes_factorize_well_conditioned_panels(
+        seed in 0u64..1_000,
+        kappa_exp in 0u32..6,
+        s in 2usize..6,
+        panels in 2usize..5,
+    ) {
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let n = 300;
+        let v = glued_matrix(
+            &GluedSpec {
+                nrows: n,
+                panel_cols: s,
+                num_panels: panels,
+                panel_cond: kappa,
+                glue_cond: 10.0,
+            },
+            seed,
+        );
+        for kind in [
+            OrthoKind::Bcgs2CholQr2,
+            OrthoKind::BcgsPip2,
+            OrthoKind::TwoStage { big_panel: 2 * s },
+        ] {
+            let (q, r) = orthogonalize_matrix(kind, &v, s).expect("well-conditioned input must not break down");
+            prop_assert!(orthogonality_error(&q.view()) < 1e-11, "{kind:?}");
+            prop_assert!(reconstructs(&q, &r, &v, 1e-9), "{kind:?}");
+            // R upper triangular with positive diagonal.
+            for j in 0..v.ncols() {
+                prop_assert!(r[(j, j)] > 0.0);
+                for i in (j + 1)..v.ncols() {
+                    prop_assert!(r[(i, j)] == 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_error_grows_with_condition_number_squared(
+        seed in 0u64..1_000,
+        kappa_exp in 1u32..7,
+    ) {
+        // Bound (2) of the paper: ‖I − Q̂ᵀQ̂‖ ≲ c₁·κ(V)².
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let v = logscaled_matrix(400, 5, kappa, seed);
+        let mut basis = distsim::DistMultiVector::from_matrix(distsim::SerialComm::new(), v.clone());
+        if let Ok(_) = blockortho::kernels::cholqr(&mut basis, 0..5) {
+            let err = orthogonality_error(&basis.local().cols(0..5));
+            let bound = 100.0 * 5.0 * (400.0 * 5.0 + 30.0) * f64::EPSILON * kappa * kappa;
+            prop_assert!(err <= bound.max(1e-14), "err {err} vs bound {bound}");
+        }
+    }
+
+    #[test]
+    fn householder_qr_is_unconditionally_orthogonal(
+        seed in 0u64..1_000,
+        kappa_exp in 0u32..14,
+    ) {
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let v = logscaled_matrix(200, 4, kappa, seed);
+        let (q, r) = dense::householder_qr(&v);
+        prop_assert!(orthogonality_error(&q.view()) < 1e-12);
+        prop_assert!(reconstructs(&q, &r, &v, 1e-10));
+    }
+
+    #[test]
+    fn glued_matrices_have_prescribed_conditioning(
+        seed in 0u64..1_000,
+        panel_exp in 1u32..5,
+        glue_exp in 1u32..4,
+    ) {
+        let spec = GluedSpec {
+            nrows: 300,
+            panel_cols: 4,
+            num_panels: 3,
+            panel_cond: 10f64.powi(panel_exp as i32),
+            glue_cond: 10f64.powi(glue_exp as i32),
+        };
+        let v = glued_matrix(&spec, seed);
+        let overall = cond_2(&v.view());
+        let expect = spec.panel_cond * spec.glue_cond;
+        prop_assert!(overall / expect > 0.2 && overall / expect < 5.0,
+            "overall {overall} vs expected {expect}");
+        for p in 0..3 {
+            let kappa = cond_2(&v.cols(p * 4..(p + 1) * 4));
+            prop_assert!(kappa / spec.panel_cond > 0.3 && kappa / spec.panel_cond < 3.0);
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear(
+        seed in 0u64..1_000,
+        nx in 4usize..12,
+        alpha in -3.0f64..3.0,
+    ) {
+        // A(αx + y) = αAx + Ay for the stencil operators.
+        let a = sparse::laplace2d_9pt(nx, nx);
+        let n = a.nrows();
+        let x = testmat::random_unit_vector(n, seed);
+        let y = testmat::random_unit_vector(n, seed + 1);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| alpha * p + q).collect();
+        let lhs = a.spmv_alloc(&combo);
+        let ax = a.spmv_alloc(&x);
+        let ay = a.spmv_alloc(&y);
+        for i in 0..n {
+            let rhs = alpha * ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-10 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn gmres_residual_never_increases_across_restarts(
+        nx in 8usize..16,
+        s in 1usize..6,
+    ) {
+        let a = sparse::laplace2d_5pt(nx, nx);
+        let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
+        let config = ssgmres::GmresConfig {
+            restart: 10,
+            step_size: s.min(10),
+            tol: 1e-10,
+            max_restarts: 6,
+            ortho: if s == 1 { ssgmres::OrthoKind::Cgs2 } else { ssgmres::OrthoKind::BcgsPip2 },
+            ..ssgmres::GmresConfig::default()
+        };
+        let (_, result) = ssgmres::SStepGmres::new(config).solve_serial(&a, &b);
+        // GMRES minimizes the residual over a growing space each cycle; the
+        // final relative residual can never exceed 1.  (A Cholesky breakdown
+        // report is allowed: on these small systems the Krylov space is often
+        // exhausted near convergence — the "lucky breakdown" — and the solver
+        // truncates the cycle; the residual bound must still hold.)
+        prop_assert!(result.final_relres <= 1.0 + 1e-12);
+    }
+}
