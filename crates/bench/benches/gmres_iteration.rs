@@ -13,7 +13,12 @@ fn bench_one_cycle(c: &mut Criterion) {
     let variants: [(&str, GmresConfig); 4] = [
         (
             "standard_cgs2",
-            GmresConfig { restart: 60, max_restarts: 1, tol: 1e-30, ..standard_gmres_config() },
+            GmresConfig {
+                restart: 60,
+                max_restarts: 1,
+                tol: 1e-30,
+                ..standard_gmres_config()
+            },
         ),
         (
             "sstep_bcgs2_cholqr2",

@@ -21,7 +21,9 @@ fn run_cycle(kind: blockortho::OrthoKind, v: &dense::Matrix, s: usize) {
     let mut c = 1;
     while c < cols {
         let end = (c + s).min(cols);
-        ortho.orthogonalize_panel(&mut basis, c..end, &mut r).unwrap();
+        ortho
+            .orthogonalize_panel(&mut basis, c..end, &mut r)
+            .unwrap();
         c = end;
     }
     ortho.finish(&mut basis, &mut r).unwrap();
@@ -37,13 +39,29 @@ fn bench_cycle(c: &mut Criterion) {
     let kinds = [
         ("bcgs2_cholqr2", blockortho::OrthoKind::Bcgs2CholQr2),
         ("bcgs_pip2", blockortho::OrthoKind::BcgsPip2),
-        ("two_stage_bs20", blockortho::OrthoKind::TwoStage { big_panel: 20 }),
-        ("two_stage_bs60", blockortho::OrthoKind::TwoStage { big_panel: 60 }),
+        (
+            "two_stage_bs20",
+            blockortho::OrthoKind::TwoStage { big_panel: 20 },
+        ),
+        (
+            "two_stage_bs60",
+            blockortho::OrthoKind::TwoStage { big_panel: 60 },
+        ),
         ("columnwise_cgs2", blockortho::OrthoKind::Cgs2),
     ];
     for (name, kind) in kinds {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| run_cycle(kind, &v, if kind == blockortho::OrthoKind::Cgs2 { 1 } else { s }))
+            b.iter(|| {
+                run_cycle(
+                    kind,
+                    &v,
+                    if kind == blockortho::OrthoKind::Cgs2 {
+                        1
+                    } else {
+                        s
+                    },
+                )
+            })
         });
     }
     group.finish();

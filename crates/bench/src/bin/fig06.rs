@@ -5,7 +5,7 @@
 //! `κ(V)²·O(ε)`, CholQR breaks down once `κ(V)` exceeds ~`1/√ε ≈ 1e8`, and
 //! below that threshold CholQR2 restores `O(ε)` orthogonality.
 
-use bench::{print_table, sci, scale, Scale};
+use bench::{print_table, scale, sci, Scale};
 use blockortho::kernels::{cholqr, cholqr2};
 use dense::{cond_2, orthogonality_error};
 use distsim::{DistMultiVector, SerialComm};
@@ -37,7 +37,7 @@ fn main() {
             }
             // CholQR2.
             let mut b2 = DistMultiVector::from_matrix(SerialComm::new(), v);
-            if let Ok(_) = cholqr2(&mut b2, 0..s) {
+            if cholqr2(&mut b2, 0..s).is_ok() {
                 err2.push(orthogonality_error(&b2.local().cols(0..s)));
             }
         }

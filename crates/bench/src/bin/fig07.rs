@@ -5,7 +5,7 @@
 //! below ~`1/√ε`, the basis after the first BCGS-PIP stays `O(1)`
 //! conditioned and the error after BCGS-PIP2 is `O(ε)`.
 
-use bench::{print_table, sci, scale, Scale};
+use bench::{print_table, scale, sci, Scale};
 use blockortho::{orthogonalize_matrix, OrthoKind};
 use dense::{cond_2, orthogonality_error};
 use testmat::{glued_matrix, GluedSpec};
@@ -32,10 +32,7 @@ fn main() {
         let kappa_measured = cond_2(&v.view());
         // One-pass BCGS-PIP.
         let (pip_err, pip_cond) = match orthogonalize_matrix(OrthoKind::BcgsPip, &v, s) {
-            Ok((q, _)) => (
-                sci(orthogonality_error(&q.view())),
-                sci(cond_2(&q.view())),
-            ),
+            Ok((q, _)) => (sci(orthogonality_error(&q.view())), sci(cond_2(&q.view()))),
             Err(e) => (format!("breakdown({e:.0?})"), "-".into()),
         };
         // BCGS-PIP2.
@@ -52,7 +49,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 7: BCGS-PIP / BCGS-PIP2 on {n}x{} glued matrices", panels * s),
+        &format!(
+            "Fig. 7: BCGS-PIP / BCGS-PIP2 on {n}x{} glued matrices",
+            panels * s
+        ),
         &[
             "target kappa",
             "kappa(V)",

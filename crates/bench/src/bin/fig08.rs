@@ -8,7 +8,7 @@
 //! its orthogonality error; at every big-panel flush we record the error of
 //! the fully orthogonalized prefix.
 
-use bench::{print_table, sci, scale, Scale};
+use bench::{print_table, scale, sci, Scale};
 use blockortho::{BlockOrthogonalizer, TwoStage};
 use dense::{cond_2, orthogonality_error, Matrix};
 use distsim::{DistMultiVector, SerialComm};
@@ -52,7 +52,11 @@ fn main() {
             sci(kappa),
             sci(err),
             format!("{flushed}"),
-            if flushed >= col { sci(orthogonality_error(&basis.local().cols(0..flushed))) } else { "-".into() },
+            if flushed >= col {
+                sci(orthogonality_error(&basis.local().cols(0..flushed)))
+            } else {
+                "-".into()
+            },
         ]);
     }
     two_stage.finish(&mut basis, &mut r).unwrap();
@@ -69,7 +73,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nFinal orthogonality error after the last second-stage flush: {}", sci(final_err));
+    println!(
+        "\nFinal orthogonality error after the last second-stage flush: {}",
+        sci(final_err)
+    );
     println!(
         "Expected shape (paper): the stored-basis condition number stays O(1)-ish thanks to the\n\
          pre-processing even though kappa(V) grows geometrically, and the final error is O(eps)."

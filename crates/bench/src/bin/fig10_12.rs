@@ -15,9 +15,17 @@ fn main() {
     let s = 5;
     let n_global = 2000usize * 2000;
     let schemes = [
-        ("Fig. 10: BCGS2 with CholQR2", SchemeKind::Bcgs2CholQr2, 60_255usize),
+        (
+            "Fig. 10: BCGS2 with CholQR2",
+            SchemeKind::Bcgs2CholQr2,
+            60_255usize,
+        ),
         ("Fig. 11: BCGS-PIP2", SchemeKind::BcgsPip2, 60_255),
-        ("Fig. 12: Two-stage (bs=m)", SchemeKind::TwoStage { bs: 60 }, 60_300),
+        (
+            "Fig. 12: Two-stage (bs=m)",
+            SchemeKind::TwoStage { bs: 60 },
+            60_300,
+        ),
     ];
     for (title, scheme, iters) in schemes {
         let mut rows = Vec::new();

@@ -11,9 +11,7 @@
 use bench::{print_table, scale, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
 use sparse::laplace2d_9pt;
-use ssgmres::{
-    standard_gmres_config, GmresConfig, MulticolorGaussSeidel, OrthoKind, SStepGmres,
-};
+use ssgmres::{standard_gmres_config, GmresConfig, MulticolorGaussSeidel, OrthoKind, SStepGmres};
 
 fn main() {
     let nx_small = match scale() {
@@ -37,7 +35,11 @@ fn main() {
     ];
     for (label, ortho) in &variants {
         let config = match ortho {
-            None => GmresConfig { restart: m, tol: 1e-6, ..standard_gmres_config() },
+            None => GmresConfig {
+                restart: m,
+                tol: 1e-6,
+                ..standard_gmres_config()
+            },
             Some(kind) => GmresConfig {
                 restart: m,
                 step_size: s,
@@ -54,7 +56,11 @@ fn main() {
             format!("{}", plain.iterations),
             format!("{}", precond.iterations),
             format!("{}", gs.num_colors()),
-            if precond.converged { "yes".into() } else { "NO".into() },
+            if precond.converged {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print_table(

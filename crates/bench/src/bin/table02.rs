@@ -9,7 +9,7 @@
 //!  2. *modeled* times at the paper's problem size (n = 2000², 4 GPUs) using
 //!     the analytic Vortex machine model.
 
-use bench::{print_table, secs, speedup, scale, Scale};
+use bench::{print_table, scale, secs, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
 use sparse::laplace2d_5pt;
 use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
@@ -35,13 +35,30 @@ fn main() {
             format!("{}", result.comm_ortho.allreduces),
             format!("{:.1e}", result.final_relres),
             format!("{:.1e}", err),
-            if result.converged { "yes".into() } else { "NO".into() },
+            if result.converged {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     };
-    run("GMRES (standard, CGS2)", GmresConfig { restart: m, tol: 1e-6, ..standard_gmres_config() });
+    run(
+        "GMRES (standard, CGS2)",
+        GmresConfig {
+            restart: m,
+            tol: 1e-6,
+            ..standard_gmres_config()
+        },
+    );
     run(
         "s-step (BCGS2-CholQR2)",
-        GmresConfig { restart: m, step_size: s, tol: 1e-6, ortho: OrthoKind::Bcgs2CholQr2, ..GmresConfig::default() },
+        GmresConfig {
+            restart: m,
+            step_size: s,
+            tol: 1e-6,
+            ortho: OrthoKind::Bcgs2CholQr2,
+            ..GmresConfig::default()
+        },
     );
     for bs in [5usize, 20, 40, 60] {
         run(
@@ -85,8 +102,18 @@ fn main() {
             speedup(*baseline_total, t.total()),
         ]);
     };
-    add("GMRES".into(), SchemeKind::StandardCgs2, iters_standard, &mut baseline_total);
-    add("s-step".into(), SchemeKind::Bcgs2CholQr2, iters_sstep, &mut baseline_total);
+    add(
+        "GMRES".into(),
+        SchemeKind::StandardCgs2,
+        iters_standard,
+        &mut baseline_total,
+    );
+    add(
+        "s-step".into(),
+        SchemeKind::Bcgs2CholQr2,
+        iters_sstep,
+        &mut baseline_total,
+    );
     for bs in [5usize, 20, 40, 60] {
         add(
             format!("two-stage bs={bs}"),

@@ -18,7 +18,11 @@ fn main() {
         ("GMRES + CGS2", SchemeKind::StandardCgs2, 60_251),
         ("s-step + BCGS2-CholQR2", SchemeKind::Bcgs2CholQr2, 60_255),
         ("s-step + BCGS-PIP2", SchemeKind::BcgsPip2, 60_255),
-        ("s-step + Two-stage (bs=m)", SchemeKind::TwoStage { bs: 60 }, 60_300),
+        (
+            "s-step + Two-stage (bs=m)",
+            SchemeKind::TwoStage { bs: 60 },
+            60_300,
+        ),
     ];
     let mut rows = Vec::new();
     for nodes in [1usize, 2, 4, 8, 16, 32] {

@@ -9,7 +9,10 @@
 
 use bench::{print_table, scale, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
-use sparse::{elasticity3d, laplace3d_7pt, scale_rows_cols_by_max, suitesparse_surrogate, Csr, SUITE_SPARSE_SET};
+use sparse::{
+    elasticity3d, laplace3d_7pt, scale_rows_cols_by_max, suitesparse_surrogate, Csr,
+    SUITE_SPARSE_SET,
+};
 use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
 
 struct Workload {
@@ -45,7 +48,13 @@ fn workloads() -> Vec<Workload> {
             small: elasticity3d(small_grid / 2, small_grid / 2, small_grid / 2),
         },
     ];
-    for name in ["atmosmodl", "dielFilterV2real", "ecology2", "ML_Geer", "thermal2"] {
+    for name in [
+        "atmosmodl",
+        "dielFilterV2real",
+        "ecology2",
+        "ML_Geer",
+        "thermal2",
+    ] {
         let spec = SUITE_SPARSE_SET.iter().find(|s| s.name == name).unwrap();
         let raw = suitesparse_surrogate(spec, Some(small_n), 5);
         let (scaled, _, _) = scale_rows_cols_by_max(&raw);
@@ -67,9 +76,17 @@ fn main() {
     let nranks = 16 * machine.gpus_per_node; // 96 GPUs
     let variants: [(&str, SchemeKind, Option<OrthoKind>); 4] = [
         ("standard", SchemeKind::StandardCgs2, None),
-        ("s-step", SchemeKind::Bcgs2CholQr2, Some(OrthoKind::Bcgs2CholQr2)),
+        (
+            "s-step",
+            SchemeKind::Bcgs2CholQr2,
+            Some(OrthoKind::Bcgs2CholQr2),
+        ),
         ("bcgs-pip2", SchemeKind::BcgsPip2, Some(OrthoKind::BcgsPip2)),
-        ("two-stage", SchemeKind::TwoStage { bs: 60 }, Some(OrthoKind::TwoStage { big_panel: 60 })),
+        (
+            "two-stage",
+            SchemeKind::TwoStage { bs: 60 },
+            Some(OrthoKind::TwoStage { big_panel: 60 }),
+        ),
     ];
 
     // --- Part 1: real (scaled-down) solves. ---
@@ -78,7 +95,12 @@ fn main() {
         let b = w.small.spmv_alloc(&vec![1.0; w.small.nrows()]);
         for (label, _, ortho) in &variants {
             let config = match ortho {
-                None => GmresConfig { restart: m, tol: 1e-6, max_iters: 30_000, ..standard_gmres_config() },
+                None => GmresConfig {
+                    restart: m,
+                    tol: 1e-6,
+                    max_iters: 30_000,
+                    ..standard_gmres_config()
+                },
                 Some(kind) => GmresConfig {
                     restart: m,
                     step_size: s,
@@ -95,13 +117,24 @@ fn main() {
                 label.to_string(),
                 format!("{}", result.iterations),
                 format!("{}", result.comm_ortho.allreduces),
-                if result.converged { "yes".into() } else { "NO".into() },
+                if result.converged {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
     print_table(
         "Table IV (part 1): measured solves on scaled-down surrogates",
-        &["matrix", "n (small)", "variant", "# iters", "ortho reduces", "converged"],
+        &[
+            "matrix",
+            "n (small)",
+            "variant",
+            "# iters",
+            "ortho reduces",
+            "converged",
+        ],
         &measured,
     );
 

@@ -111,11 +111,10 @@ impl HessenbergRecovery {
                     num[i] += theta * ti;
                 }
             }
-            for k in 0..c {
-                let tk = t[k];
+            for (k, &tk) in t.iter().enumerate().take(c) {
                 if tk != 0.0 {
-                    for i in 0..(k + 2).min(mrows) {
-                        num[i] -= self.h[(i, k)] * tk;
+                    for (i, entry) in num.iter_mut().enumerate().take((k + 2).min(mrows)) {
+                        *entry -= self.h[(i, k)] * tk;
                     }
                 }
             }
@@ -124,8 +123,8 @@ impl HessenbergRecovery {
                 tc != 0.0,
                 "Hessenberg recovery: zero diagonal coefficient at column {c}"
             );
-            for i in 0..(c + 2).min(mrows) {
-                self.h[(i, c)] = num[i] / tc;
+            for (i, entry) in num.iter().enumerate().take((c + 2).min(mrows)) {
+                self.h[(i, c)] = entry / tc;
             }
             self.recovered += 1;
         }
@@ -271,7 +270,11 @@ mod tests {
         let mut r = Matrix::zeros(m + 1, m + 1);
         for j in 0..=m {
             for i in 0..=j {
-                r[(i, j)] = if i == j { 1.0 + j as f64 * 0.1 } else { 0.3 / (1.0 + (j - i) as f64) };
+                r[(i, j)] = if i == j {
+                    1.0 + j as f64 * 0.1
+                } else {
+                    0.3 / (1.0 + (j - i) as f64)
+                };
             }
         }
         let mut rec = HessenbergRecovery::new(m);

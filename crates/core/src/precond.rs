@@ -89,7 +89,11 @@ impl BlockJacobiGaussSeidel {
             let (cols, vals) = local.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
                 if c < n {
-                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                    triplets.push(sparse::Triplet {
+                        row: i,
+                        col: c,
+                        val: v,
+                    });
                 }
             }
         }
@@ -158,7 +162,11 @@ impl MulticolorGaussSeidel {
             let (cols, vals) = local.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
                 if c < n {
-                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                    triplets.push(sparse::Triplet {
+                        row: i,
+                        col: c,
+                        val: v,
+                    });
                 }
             }
         }
@@ -235,7 +243,11 @@ impl Polynomial {
             let (cols, vals) = local.row(i);
             for (&c, &v) in cols.iter().zip(vals) {
                 if c < n {
-                    triplets.push(sparse::Triplet { row: i, col: c, val: v });
+                    triplets.push(sparse::Triplet {
+                        row: i,
+                        col: c,
+                        val: v,
+                    });
                 }
             }
         }
@@ -345,7 +357,9 @@ mod tests {
         // visited color by color; verify against a straightforward reference
         // sweep in that ordering.
         let a = laplace2d_5pt(12, 12);
-        let b: Vec<f64> = (0..144).map(|i| ((i * 5) % 11) as f64 * 0.2 - 1.0).collect();
+        let b: Vec<f64> = (0..144)
+            .map(|i| ((i * 5) % 11) as f64 * 0.2 - 1.0)
+            .collect();
         let mc = MulticolorGaussSeidel::new(&a, 2);
         assert_eq!(mc.num_colors(), 2);
         let mut x_mc = vec![0.0; 144];
@@ -419,10 +433,26 @@ mod tests {
             2,
             4,
             &[
-                sparse::Triplet { row: 0, col: 0, val: 2.0 },
-                sparse::Triplet { row: 0, col: 3, val: -1.0 }, // ghost
-                sparse::Triplet { row: 1, col: 1, val: 2.0 },
-                sparse::Triplet { row: 1, col: 2, val: -1.0 }, // ghost
+                sparse::Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 2.0,
+                },
+                sparse::Triplet {
+                    row: 0,
+                    col: 3,
+                    val: -1.0,
+                }, // ghost
+                sparse::Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 2.0,
+                },
+                sparse::Triplet {
+                    row: 1,
+                    col: 2,
+                    val: -1.0,
+                }, // ghost
             ],
         );
         let gs = BlockJacobiGaussSeidel::new(&local, 1);

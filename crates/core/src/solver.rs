@@ -147,13 +147,8 @@ impl SStepGmres {
         let mut converged = false;
 
         // Reusable buffers.
-        let mut basis = DistMultiVector::zeros(
-            comm.clone(),
-            a.global_rows(),
-            nloc,
-            a.row_offset(),
-            m + 1,
-        );
+        let mut basis =
+            DistMultiVector::zeros(comm.clone(), a.global_rows(), nloc, a.row_offset(), m + 1);
         let mut r_factor = Matrix::zeros(m + 1, m + 1);
         let mut z = vec![0.0; nloc]; // preconditioned vector
         let mut w = vec![0.0; nloc]; // A·z
@@ -196,8 +191,7 @@ impl SStepGmres {
             // scheme sees its panels starting at column 0.
             let before = comm.stats().snapshot();
             let first = ortho.orthogonalize_panel(&mut basis, 0..1, &mut r_factor);
-            comm_ortho = comm_ortho
-                .merge(&comm.stats().snapshot().since(&before));
+            comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
             if let Err(e) = first {
                 breakdown = Some(format!("initial column: {e}"));
                 break 'outer;
@@ -355,23 +349,6 @@ trait LocalFill {
 impl LocalFill for DistMultiVector {
     fn set_col_from_global_local(&mut self, col: usize, local: &[f64]) {
         self.local_mut().col_mut(col).copy_from_slice(local);
-    }
-}
-
-/// Extension of [`CommStatsSnapshot`] for accumulating phase deltas.
-trait Merge {
-    fn merge(&self, other: &CommStatsSnapshot) -> CommStatsSnapshot;
-}
-
-impl Merge for CommStatsSnapshot {
-    fn merge(&self, other: &CommStatsSnapshot) -> CommStatsSnapshot {
-        CommStatsSnapshot {
-            allreduces: self.allreduces + other.allreduces,
-            allreduce_words: self.allreduce_words + other.allreduce_words,
-            p2p_messages: self.p2p_messages + other.p2p_messages,
-            p2p_words: self.p2p_words + other.p2p_words,
-            barriers: self.barriers + other.barriers,
-        }
     }
 }
 

@@ -170,10 +170,7 @@ pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
     assert_eq!(r.nrows(), s, "trsm_right_upper: dimension mismatch");
     assert_eq!(r.ncols(), s, "trsm_right_upper: R must be square");
     for j in 0..s {
-        assert!(
-            r[(j, j)] != 0.0,
-            "trsm_right_upper: zero diagonal at {j}"
-        );
+        assert!(r[(j, j)] != 0.0, "trsm_right_upper: zero diagonal at {j}");
     }
     // Column j of the result uses the already-updated columns 0..j:
     //   q_j = (v_j − Σ_{i<j} q_i r_{ij}) / r_{jj}
@@ -327,11 +324,7 @@ mod tests {
     fn trsm_right_upper_inverts_r() {
         // Build V = Q·R with orthonormal-ish Q unknown; instead verify that
         // (V·R⁻¹)·R == V.
-        let r = Matrix::from_rows(&[
-            &[2.0, 0.5, -1.0],
-            &[0.0, 1.5, 0.25],
-            &[0.0, 0.0, 3.0],
-        ]);
+        let r = Matrix::from_rows(&[&[2.0, 0.5, -1.0], &[0.0, 1.5, 0.25], &[0.0, 0.0, 3.0]]);
         let v = test_panel(901, 3);
         let mut q = v.clone();
         trsm_right_upper(&mut q.view_mut(), &r);

@@ -44,7 +44,7 @@ pub fn cholesky_upper(g: &Matrix) -> Result<Matrix, CholeskyError> {
         for k in 0..j {
             d -= r[(k, j)] * r[(k, j)];
         }
-        if !(d > 0.0) || !d.is_finite() {
+        if d <= 0.0 || !d.is_finite() {
             return Err(CholeskyError { pivot: j, value: d });
         }
         let djj = d.sqrt();
@@ -68,7 +68,10 @@ pub fn cholesky_upper(g: &Matrix) -> Result<Matrix, CholeskyError> {
 /// repairs).
 ///
 /// Returns the factor and the shift that was applied.
-pub fn shifted_cholesky_upper(g: &Matrix, n_global_rows: usize) -> Result<(Matrix, f64), CholeskyError> {
+pub fn shifted_cholesky_upper(
+    g: &Matrix,
+    n_global_rows: usize,
+) -> Result<(Matrix, f64), CholeskyError> {
     let s = g.nrows();
     // Shift suggested by the shifted-CholQR analysis: 11 (n·s + s(s+1)) ε ‖G‖₂.
     // We use the (cheap, slightly larger) Frobenius norm as the norm estimate.

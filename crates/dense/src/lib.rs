@@ -40,9 +40,11 @@ pub use chol::{cholesky_upper, shifted_cholesky_upper, CholeskyError};
 pub use eig::{sym_eig_jacobi, sym_eigvals};
 pub use lsq::{givens_rotation, hessenberg_lsq, qr_lsq};
 pub use matrix::{MatView, MatViewMut, Matrix};
-pub use measure::{cond_2, frobenius_norm, orthogonality_error, singular_values, spectral_norm_sym};
-pub use svd::svdvals_jacobi;
+pub use measure::{
+    cond_2, frobenius_norm, orthogonality_error, singular_values, spectral_norm_sym,
+};
 pub use qr::householder_qr;
+pub use svd::svdvals_jacobi;
 pub use tri::{tri_inverse_upper, tri_matmul_upper, tri_solve_upper, tri_solve_upper_transpose};
 
 /// Machine epsilon for `f64`, exposed for readability in stability bounds.

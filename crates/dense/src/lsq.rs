@@ -86,14 +86,14 @@ pub fn qr_lsq(a: &Matrix, b: &[f64]) -> (Vec<f64>, f64) {
     let (qmat, rmat) = householder_qr(a);
     // y solves R y = Qᵀ b.
     let mut qtb = vec![0.0; q];
-    for j in 0..q {
-        qtb[j] = crate::blas1::dot(qmat.col(j), b);
+    for (j, entry) in qtb.iter_mut().enumerate() {
+        *entry = crate::blas1::dot(qmat.col(j), b);
     }
     let y = tri_solve_upper(&rmat, &qtb);
     // Residual norm: ‖b − A y‖.
     let mut resid = b.to_vec();
-    for j in 0..q {
-        crate::blas1::axpy(-y[j], a.col(j), &mut resid);
+    for (j, &yj) in y.iter().enumerate() {
+        crate::blas1::axpy(-yj, a.col(j), &mut resid);
     }
     (y, crate::blas1::nrm2(&resid))
 }
@@ -104,7 +104,14 @@ mod tests {
 
     #[test]
     fn givens_zeroes_second_entry() {
-        for (a, b) in [(3.0, 4.0), (-3.0, 4.0), (0.0, 2.0), (2.0, 0.0), (-5.0, 0.0), (0.0, -1.0)] {
+        for (a, b) in [
+            (3.0, 4.0),
+            (-3.0, 4.0),
+            (0.0, 2.0),
+            (2.0, 0.0),
+            (-5.0, 0.0),
+            (0.0, -1.0),
+        ] {
             let (c, s, r) = givens_rotation(a, b);
             assert!((c * c + s * s - 1.0).abs() < 1e-14);
             assert!(r >= 0.0);

@@ -114,13 +114,21 @@ impl Matrix {
 
     /// Column `j` as a slice.
     pub fn col(&self, j: usize) -> &[f64] {
-        assert!(j < self.ncols, "column index {j} out of bounds {}", self.ncols);
+        assert!(
+            j < self.ncols,
+            "column index {j} out of bounds {}",
+            self.ncols
+        );
         &self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Column `j` as a mutable slice.
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        assert!(j < self.ncols, "column index {j} out of bounds {}", self.ncols);
+        assert!(
+            j < self.ncols,
+            "column index {j} out of bounds {}",
+            self.ncols
+        );
         &mut self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
@@ -168,7 +176,11 @@ impl Matrix {
     /// Gram–Schmidt: orthogonalize the trailing panel against the leading
     /// basis in place.
     pub fn split_at_col(&mut self, j: usize) -> (MatView<'_>, MatViewMut<'_>) {
-        assert!(j <= self.ncols, "split column {j} out of bounds {}", self.ncols);
+        assert!(
+            j <= self.ncols,
+            "split column {j} out of bounds {}",
+            self.ncols
+        );
         let nrows = self.nrows;
         let (head, tail) = self.data.split_at_mut(j * nrows);
         (
@@ -457,7 +469,6 @@ mod tests {
         assert_eq!(head.get(0, 1), 2.0);
         assert_eq!(tail.get(0, 0), 4.0);
         tail.set(1, 1, 99.0);
-        drop(tail);
         assert_eq!(m[(1, 3)], 99.0);
     }
 

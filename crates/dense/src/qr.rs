@@ -106,7 +106,9 @@ mod tests {
     use crate::measure::orthogonality_error;
 
     fn panel(n: usize, s: usize) -> Matrix {
-        Matrix::from_fn(n, s, |i, j| ((i * 7 + j * 13) % 23) as f64 * 0.1 - 1.0 + if i == j { 3.0 } else { 0.0 })
+        Matrix::from_fn(n, s, |i, j| {
+            ((i * 7 + j * 13) % 23) as f64 * 0.1 - 1.0 + if i == j { 3.0 } else { 0.0 }
+        })
     }
 
     #[test]

@@ -84,7 +84,10 @@ mod tests {
         let sv = svdvals_jacobi(&a);
         assert!((sv[0] - 3.0).abs() < 1e-14);
         assert!((sv[1] - 0.5).abs() < 1e-15);
-        assert!((sv[2] - 1e-12).abs() < 1e-24, "tiny value resolved to high relative accuracy");
+        assert!(
+            (sv[2] - 1e-12).abs() < 1e-24,
+            "tiny value resolved to high relative accuracy"
+        );
     }
 
     #[test]
@@ -99,7 +102,9 @@ mod tests {
 
     #[test]
     fn matches_eigenvalues_of_gram_for_moderate_conditioning() {
-        let a = Matrix::from_fn(20, 5, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0 + if i == j { 4.0 } else { 0.0 });
+        let a = Matrix::from_fn(20, 5, |i, j| {
+            ((i * 3 + j * 5) % 7) as f64 - 3.0 + if i == j { 4.0 } else { 0.0 }
+        });
         let sv = svdvals_jacobi(&a);
         let gram = crate::blas3::gram(&a.view());
         let mut eig = crate::eig::sym_eigvals(&gram);

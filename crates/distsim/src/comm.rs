@@ -1,0 +1,56 @@
+//! The object-safe communicator interface.
+
+use crate::stats::CommStats;
+
+/// Collective and point-to-point communication among a fixed group of
+/// ranks, modeled on the MPI subset the paper's solver needs.
+///
+/// Implementations are held as `Arc<dyn Communicator>` and shared freely;
+/// every operation takes `&self`.  All collectives are *blocking* and must
+/// be called by every rank of the group in the same order with compatible
+/// arguments (as in MPI); the thread-backed implementation asserts this.
+///
+/// Every operation is recorded in [`stats`](Communicator::stats) — on the
+/// single-rank [`SerialComm`](crate::SerialComm) the data movement is a
+/// no-op but the counts are identical to a multi-rank run, which is what
+/// lets a serial run audit the paper's reduction counts.
+pub trait Communicator: Send + Sync + std::fmt::Debug {
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the group.
+    fn size(&self) -> usize;
+
+    /// Element-wise global sum of `buf` across all ranks; every rank
+    /// receives the result in place.  One global reduction.
+    fn allreduce_sum(&self, buf: &mut [f64]);
+
+    /// Convenience scalar all-reduce (still one global reduction of one
+    /// word).
+    fn allreduce_sum_scalar(&self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Replace `buf` on every rank with its contents on rank `root`.
+    fn broadcast(&self, root: usize, buf: &mut [f64]);
+
+    /// Gather `send` from every rank into `recv` in rank order.  Every rank
+    /// must pass the same `send` length and `recv.len() == size() *
+    /// send.len()`.
+    fn allgather(&self, send: &[f64], recv: &mut [f64]);
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Post `data` to rank `to` (non-blocking, FIFO per sender/receiver
+    /// pair).  Used for the halo exchange of the distributed SpMV.
+    fn send(&self, to: usize, data: &[f64]);
+
+    /// Receive the next message from rank `from` (blocking).
+    fn recv(&self, from: usize) -> Vec<f64>;
+
+    /// This rank's communication counters.
+    fn stats(&self) -> &CommStats;
+}

@@ -159,7 +159,8 @@ mod tests {
 
     fn test_matrix(n: usize, c: usize) -> Matrix {
         Matrix::from_fn(n, c, |i, j| {
-            ((i * 11 + j * 5) % 17) as f64 * 0.13 - 1.0 + if (i + 2 * j) % 7 == 0 { 1.7 } else { 0.0 }
+            ((i * 11 + j * 5) % 17) as f64 * 0.13 - 1.0
+                + if (i + 2 * j) % 7 == 0 { 1.7 } else { 0.0 }
         })
     }
 
@@ -169,7 +170,9 @@ mod tests {
         let mut start = 0;
         while start < v.ncols() {
             let end = (start + panel).min(v.ncols());
-            scheme.orthogonalize_panel(&mut basis, start..end, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, start..end, &mut r)
+                .unwrap();
             start = end;
         }
         (basis.local().clone(), r)
@@ -207,11 +210,18 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(10, 10);
         let mut scheme = Bcgs2CholQr2::new();
-        scheme.orthogonalize_panel(&mut basis, 0..5, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..5, &mut r)
+            .unwrap();
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 5..10, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 5..10, &mut r)
+            .unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
-        assert_eq!(delta.allreduces, 5, "BCGS2 with CholQR2 synchronizes five times per panel");
+        assert_eq!(
+            delta.allreduces, 5,
+            "BCGS2 with CholQR2 synchronizes five times per panel"
+        );
     }
 
     #[test]
@@ -220,9 +230,13 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(10, 10);
         let mut scheme = Bcgs2Columnwise::new();
-        scheme.orthogonalize_panel(&mut basis, 0..5, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..5, &mut r)
+            .unwrap();
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 5..10, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 5..10, &mut r)
+            .unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
         // 2 BCGS + 1 final CholQR + the column-wise intra kernel: the first
         // panel column needs only its norm, each later column needs two

@@ -129,7 +129,9 @@ mod tests {
         let mut start = 0;
         while start < v.ncols() {
             let end = (start + panel).min(v.ncols());
-            scheme.orthogonalize_panel(&mut basis, start..end, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, start..end, &mut r)
+                .unwrap();
             start = end;
         }
         scheme.finish(&mut basis, &mut r).unwrap();
@@ -176,7 +178,10 @@ mod tests {
         let e1 = orthogonality_error(&q1.view());
         let e2 = orthogonality_error(&q2.view());
         assert!(e2 < 1e-13, "PIP2 error {e2}");
-        assert!(e1 > e2, "single PIP ({e1}) should be no better than PIP2 ({e2})");
+        assert!(
+            e1 > e2,
+            "single PIP ({e1}) should be no better than PIP2 ({e2})"
+        );
         assert!(e1 < 1e-4, "but still bounded by eps*kappa^2");
         let back = dense::gemm_nn(&q1, &r1);
         for j in 0..10 {
@@ -192,11 +197,18 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(8, 8);
         let mut scheme = BcgsPip2::new();
-        scheme.orthogonalize_panel(&mut basis, 0..4, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..4, &mut r)
+            .unwrap();
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 4..8, &mut r)
+            .unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
-        assert_eq!(delta.allreduces, 2, "BCGS-PIP2 must synchronize exactly twice per panel");
+        assert_eq!(
+            delta.allreduces, 2,
+            "BCGS-PIP2 must synchronize exactly twice per panel"
+        );
     }
 
     #[test]
@@ -231,7 +243,11 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(6, 6);
         let mut scheme = BcgsPip2::new();
-        scheme.orthogonalize_panel(&mut basis, 0..3, &mut r).unwrap();
-        assert!(scheme.orthogonalize_panel(&mut basis, 3..6, &mut r).is_err());
+        scheme
+            .orthogonalize_panel(&mut basis, 0..3, &mut r)
+            .unwrap();
+        assert!(scheme
+            .orthogonalize_panel(&mut basis, 3..6, &mut r)
+            .is_err());
     }
 }

@@ -107,7 +107,9 @@ mod tests {
         let mut r = Matrix::zeros(v.ncols(), v.ncols());
         // Standard GMRES processes one column at a time.
         for c in 0..v.ncols() {
-            scheme.orthogonalize_panel(&mut basis, c..c + 1, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, c..c + 1, &mut r)
+                .unwrap();
         }
         (basis.local().clone(), r)
     }
@@ -145,10 +147,14 @@ mod tests {
         let mut r = Matrix::zeros(6, 6);
         let mut scheme = Cgs2Columnwise::new();
         for c in 0..5 {
-            scheme.orthogonalize_panel(&mut basis, c..c + 1, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, c..c + 1, &mut r)
+                .unwrap();
         }
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 5..6, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 5..6, &mut r)
+            .unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
         assert_eq!(delta.allreduces, 3);
     }
@@ -160,10 +166,14 @@ mod tests {
         let mut r = Matrix::zeros(6, 6);
         let mut scheme = MgsColumnwise::new();
         for c in 0..5 {
-            scheme.orthogonalize_panel(&mut basis, c..c + 1, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, c..c + 1, &mut r)
+                .unwrap();
         }
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 5..6, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 5..6, &mut r)
+            .unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
         // 5 projections (one reduce each) + 1 norm.
         assert_eq!(delta.allreduces, 6);

@@ -64,6 +64,7 @@ impl Dd {
     }
 
     /// Double-double addition.
+    #[allow(clippy::should_implement_trait)] // value-semantics helper, no Add impl wanted
     pub fn add(self, other: Dd) -> Dd {
         self.add_f64(other.hi).add_f64(other.lo)
     }

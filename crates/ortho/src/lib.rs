@@ -34,8 +34,8 @@ pub mod cgs;
 pub mod dd;
 pub mod error;
 pub mod kernels;
-pub mod two_stage;
 pub mod traits;
+pub mod two_stage;
 
 pub use bcgs2::{Bcgs2CholQr2, Bcgs2Columnwise};
 pub use bcgs_pip2::{BcgsPip, BcgsPip2};

@@ -34,11 +34,7 @@ pub trait BlockOrthogonalizer {
     ) -> Result<(), OrthoError>;
 
     /// Complete any delayed orthogonalization (no-op for one-stage schemes).
-    fn finish(
-        &mut self,
-        _basis: &mut DistMultiVector,
-        _r: &mut Matrix,
-    ) -> Result<(), OrthoError> {
+    fn finish(&mut self, _basis: &mut DistMultiVector, _r: &mut Matrix) -> Result<(), OrthoError> {
         Ok(())
     }
 

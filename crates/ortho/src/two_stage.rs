@@ -81,7 +81,7 @@ impl TwoStage {
         let (t_prev, t_bp) = match bcgs_pip(basis, prev.clone(), bp.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
-                shifted_second_stage(basis, prev.clone(), bp.clone())?
+                shifted_bcgs_pip2(basis, prev.clone(), bp.clone())?
             }
             Err(other) => return Err(other),
         };
@@ -123,13 +123,13 @@ impl TwoStage {
     }
 }
 
-/// Shifted second stage used when the plain BCGS-PIP on the big panel breaks
-/// down: one pass built on the shifted Cholesky factorization (which succeeds
-/// for any numerically full-rank panel), followed by a plain BCGS-PIP
-/// re-orthogonalization pass, with the two sets of factors composed so the
-/// caller still sees a single `(T_prev, T_bp)` pair with
-/// `Q̂ = Q_prev·T_prev + Q_new·T_bp`.
-fn shifted_second_stage(
+/// Shifted BCGS-PIP2, used when a plain BCGS-PIP on a panel (first stage)
+/// or big panel (second stage) breaks down: one pass built on the shifted
+/// Cholesky factorization (which succeeds for any numerically full-rank
+/// panel), followed by a plain BCGS-PIP re-orthogonalization pass, with the
+/// two sets of factors composed so the caller still sees a single
+/// `(T_prev, T_bp)` pair with `Q̂ = Q_prev·T_prev + Q_new·T_bp`.
+fn shifted_bcgs_pip2(
     basis: &mut DistMultiVector,
     prev: Range<usize>,
     bp: Range<usize>,
@@ -138,12 +138,13 @@ fn shifted_second_stage(
     let (p1, g1) = basis.proj_and_gram(prev.clone(), bp.clone());
     let correction = dense::gemm_nn(&p1.transpose(), &p1);
     let g_proj = g1.sub(&correction);
-    let (r1, _shift) = dense::shifted_cholesky_upper(&g_proj, basis.global_rows()).map_err(|e| {
-        OrthoError::CholeskyBreakdown {
-            context: "two-stage second stage (shifted fallback)",
-            pivot: e.pivot,
-        }
-    })?;
+    let (r1, _shift) =
+        dense::shifted_cholesky_upper(&g_proj, basis.global_rows()).map_err(|e| {
+            OrthoError::CholeskyBreakdown {
+                context: "two-stage second stage (shifted fallback)",
+                pivot: e.pivot,
+            }
+        })?;
     basis.update(prev.clone(), bp.clone(), &p1);
     basis.scale_right(bp.clone(), &r1);
     // Re-orthogonalization pass (now well conditioned).
@@ -188,15 +189,25 @@ impl BlockOrthogonalizer for TwoStage {
         );
         // First stage: pre-process the panel against everything stored so
         // far (fully orthogonalized prefix + pre-processed current big
-        // panel) with a single BCGS-PIP.
+        // panel) with a single BCGS-PIP.  If the raw panel violates the
+        // O(1/sqrt(eps)) conditioning bound (condition (5) of the paper) —
+        // which the matrix-powers kernel can produce on hard matrices — fall
+        // back to the same shifted-CholQR remedy the second stage uses,
+        // spending the extra reduces only on the offending panel.
         let prev = 0..new.start;
-        let (p, r_new) = bcgs_pip(basis, prev.clone(), new.clone()).map_err(|e| match e {
-            OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
-                context: "two-stage first stage (panel pre-processing)",
-                pivot,
-            },
-            other => other,
-        })?;
+        let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
+            Ok(factors) => factors,
+            Err(OrthoError::CholeskyBreakdown { .. }) => {
+                shifted_bcgs_pip2(basis, prev.clone(), new.clone()).map_err(|e| match e {
+                    OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
+                        context: "two-stage first stage (panel pre-processing)",
+                        pivot,
+                    },
+                    other => other,
+                })?
+            }
+            Err(other) => return Err(other),
+        };
         crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
         self.processed_end = new.end;
         // Second stage once enough columns have accumulated.
@@ -235,7 +246,8 @@ mod tests {
 
     fn test_matrix(n: usize, c: usize) -> Matrix {
         Matrix::from_fn(n, c, |i, j| {
-            ((i * 19 + j * 11) % 31) as f64 * 0.06 - 0.8 + if (i + 3 * j) % 9 == 0 { 1.9 } else { 0.0 }
+            ((i * 19 + j * 11) % 31) as f64 * 0.06 - 0.8
+                + if (i + 3 * j) % 9 == 0 { 1.9 } else { 0.0 }
         })
     }
 
@@ -246,7 +258,9 @@ mod tests {
         let mut start = 0;
         while start < v.ncols() {
             let end = (start + panel).min(v.ncols());
-            scheme.orthogonalize_panel(&mut basis, start..end, &mut r).unwrap();
+            scheme
+                .orthogonalize_panel(&mut basis, start..end, &mut r)
+                .unwrap();
             start = end;
         }
         scheme.finish(&mut basis, &mut r).unwrap();
@@ -297,8 +311,12 @@ mod tests {
         let mut r = Matrix::zeros(10, 10);
         let mut scheme = TwoStage::new(5, 10);
         let before = basis.comm().stats().snapshot();
-        scheme.orthogonalize_panel(&mut basis, 0..5, &mut r).unwrap();
-        scheme.orthogonalize_panel(&mut basis, 5..10, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..5, &mut r)
+            .unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 5..10, &mut r)
+            .unwrap();
         scheme.finish(&mut basis, &mut r).unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
         // bs = s: each panel is immediately flushed → 2 reduces per panel,
@@ -344,9 +362,15 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(12, 12);
         let mut scheme = TwoStage::new(12, 12);
-        scheme.orthogonalize_panel(&mut basis, 0..4, &mut r).unwrap();
-        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
-        scheme.orthogonalize_panel(&mut basis, 8..12, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..4, &mut r)
+            .unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 4..8, &mut r)
+            .unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 8..12, &mut r)
+            .unwrap();
         // Capture the pre-processed basis before the second stage.
         let pre = basis.local().clone();
         scheme.finish(&mut basis, &mut r).unwrap();
@@ -371,8 +395,12 @@ mod tests {
         // The scheme is reusable after reset.
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(8, 8);
-        scheme.orthogonalize_panel(&mut basis, 0..4, &mut r).unwrap();
-        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 0..4, &mut r)
+            .unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 4..8, &mut r)
+            .unwrap();
         scheme.finish(&mut basis, &mut r).unwrap();
         assert!(orthogonality_error(&basis.local().cols(0..8)) < 1e-12);
     }
@@ -384,7 +412,9 @@ mod tests {
         let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
         let mut r = Matrix::zeros(8, 8);
         let mut scheme = TwoStage::new(8, 8);
-        scheme.orthogonalize_panel(&mut basis, 4..8, &mut r).unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 4..8, &mut r)
+            .unwrap();
     }
 
     #[test]

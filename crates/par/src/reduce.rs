@@ -103,7 +103,12 @@ where
 
 /// Parallel sum of a slice of `f64`.
 pub fn parallel_sum(data: &[f64]) -> f64 {
-    parallel_reduce_chunks(data, 0.0, |chunk, _| chunk.iter().sum::<f64>(), |a, b| a + b)
+    parallel_reduce_chunks(
+        data,
+        0.0,
+        |chunk, _| chunk.iter().sum::<f64>(),
+        |a, b| a + b,
+    )
 }
 
 #[cfg(test)]
@@ -153,7 +158,9 @@ mod tests {
 
     #[test]
     fn parallel_sum_is_deterministic() {
-        let data: Vec<f64> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3).collect();
+        let data: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3)
+            .collect();
         let a = parallel_sum(&data);
         let b = parallel_sum(&data);
         assert_eq!(a, b);

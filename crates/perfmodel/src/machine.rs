@@ -1,10 +1,8 @@
 //! Machine description (roofline + network parameters).
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one GPU and of the interconnect, per MPI rank
 /// (the paper runs one MPI rank per GPU).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineModel {
     /// Human-readable name of the preset.
     pub name: String,

@@ -159,7 +159,7 @@ pub fn ortho_cycle_cost(
                 // First stage: one BCGS-PIP against everything stored.
                 acc.add(&pip_cost(costs, k, s));
                 pending += s;
-                if pending - 1 >= bs || j == panels - 1 {
+                if pending > bs || j == panels - 1 {
                     // Second stage on the accumulated big panel.
                     let width = pending;
                     acc.add(&pip_cost(costs, big_start, width));
@@ -182,7 +182,7 @@ pub fn ortho_reduce_count(scheme: SchemeKind, m: usize, s: usize) -> usize {
         SchemeKind::BcgsPip2 => 2 * (m / s),
         SchemeKind::TwoStage { bs } => {
             let panels = m / s;
-            let big_panels = (m + bs - 1) / bs; // ceil
+            let big_panels = m.div_ceil(bs); // ceil
             panels + big_panels
         }
     }
@@ -210,8 +210,25 @@ mod tests {
             SchemeKind::TwoStage { bs: 60 },
             SchemeKind::TwoStage { bs: 20 },
         ] {
-            let assembled = ortho_cycle_cost(scheme, &c, m, if scheme == SchemeKind::StandardCgs2 { 1 } else { s });
-            let closed = ortho_reduce_count(scheme, m, if scheme == SchemeKind::StandardCgs2 { 1 } else { s });
+            let assembled = ortho_cycle_cost(
+                scheme,
+                &c,
+                m,
+                if scheme == SchemeKind::StandardCgs2 {
+                    1
+                } else {
+                    s
+                },
+            );
+            let closed = ortho_reduce_count(
+                scheme,
+                m,
+                if scheme == SchemeKind::StandardCgs2 {
+                    1
+                } else {
+                    s
+                },
+            );
             assert_eq!(assembled.reduces, closed, "{scheme:?}");
         }
     }
@@ -317,6 +334,9 @@ mod tests {
         assert!(b.vector_updates > 0.0);
         assert!(b.small_work > 0.0);
         assert!(b.allreduce > 0.0);
-        assert!((b.total() - (b.dot_products + b.vector_updates + b.small_work + b.allreduce)).abs() < 1e-12);
+        assert!(
+            (b.total() - (b.dot_products + b.vector_updates + b.small_work + b.allreduce)).abs()
+                < 1e-12
+        );
     }
 }

@@ -3,10 +3,9 @@
 use crate::kernels::KernelCosts;
 use crate::machine::MachineModel;
 use crate::ortho_cost::{ortho_cycle_cost, SchemeKind};
-use serde::{Deserialize, Serialize};
 
 /// Description of a linear-system workload (per the paper's tables).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProblemSpec {
     /// Problem name (e.g. "Laplace2D", "atmosmodl").
     pub name: String,
@@ -62,7 +61,7 @@ impl ProblemSpec {
 }
 
 /// Modeled solver times (seconds), split the way the paper's tables are.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverTimes {
     /// Time in the sparse matrix–vector products (and halo exchanges).
     pub spmv: f64,
@@ -197,8 +196,14 @@ mod tests {
         let two = table3_times(SchemeKind::TwoStage { bs: 60 }, 32, 60_300);
         let s_bcgs2 = std.ortho / bcgs2.ortho;
         let s_two = std.ortho / two.ortho;
-        assert!(s_bcgs2 > 1.3 && s_bcgs2 < 5.0, "bcgs2 ortho speedup {s_bcgs2}");
-        assert!(s_two > 2.5 && s_two < 12.0, "two-stage ortho speedup {s_two}");
+        assert!(
+            s_bcgs2 > 1.3 && s_bcgs2 < 5.0,
+            "bcgs2 ortho speedup {s_bcgs2}"
+        );
+        assert!(
+            s_two > 2.5 && s_two < 12.0,
+            "two-stage ortho speedup {s_two}"
+        );
         assert!(s_two > s_bcgs2);
     }
 
@@ -226,9 +231,8 @@ mod tests {
         let machine = MachineModel::summit_node();
         let nranks = 96;
         let problem = ProblemSpec::laplace2d(2000, 9, nranks);
-        let with_gs = |scheme, iters| {
-            solver_time(scheme, &problem, &machine, nranks, 5, 60, iters, 2)
-        };
+        let with_gs =
+            |scheme, iters| solver_time(scheme, &problem, &machine, nranks, 5, 60, iters, 2);
         let std = with_gs(SchemeKind::StandardCgs2, 20_000);
         let two = with_gs(SchemeKind::TwoStage { bs: 60 }, 20_000);
         assert!(std.precond > 0.0 && two.precond > 0.0);

@@ -40,7 +40,7 @@ pub fn greedy_coloring(a: &Csr) -> Coloring {
     let mut forbidden = vec![usize::MAX; 1]; // forbidden[c] == i means color c is taken by a neighbour of i
     for i in 0..n {
         // Mark colors of already-colored neighbours.
-        for source in [&*a, &at] {
+        for source in [a, &at] {
             let (cols, _) = source.row(i);
             for &j in cols {
                 if j != i && color_of[j] != usize::MAX {
@@ -109,7 +109,11 @@ mod tests {
         let a = laplace2d_9pt(8, 8);
         let c = greedy_coloring(&a);
         assert_valid(&a, &c);
-        assert!(c.num_colors() <= 5, "greedy should stay near 4 colors, got {}", c.num_colors());
+        assert!(
+            c.num_colors() <= 5,
+            "greedy should stay near 4 colors, got {}",
+            c.num_colors()
+        );
         assert!(c.num_colors() >= 4);
     }
 
@@ -127,9 +131,21 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 0, val: 1.0 },
-                Triplet { row: 1, col: 1, val: 1.0 },
-                Triplet { row: 0, col: 1, val: 0.5 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 0.5,
+                },
             ],
         );
         let c = greedy_coloring(&a);

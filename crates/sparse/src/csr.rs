@@ -180,11 +180,11 @@ impl Csr {
     /// The diagonal of the matrix (zeros where no entry is stored).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.nrows.min(self.ncols)];
-        for i in 0..d.len() {
+        for (i, entry) in d.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            for (c, v) in cols.iter().zip(vals) {
+            for (c, v) in cols.iter().zip(vals.iter()) {
                 if *c == i {
-                    d[i] = *v;
+                    *entry = *v;
                 }
             }
         }
@@ -254,10 +254,16 @@ impl Csr {
     /// keeping global column indices.  This is how a 1D block-row
     /// distribution stores its local part.
     pub fn row_block(&self, row_start: usize, row_end: usize) -> Csr {
-        assert!(row_start <= row_end && row_end <= self.nrows, "row block out of range");
+        assert!(
+            row_start <= row_end && row_end <= self.nrows,
+            "row block out of range"
+        );
         let lo = self.rowptr[row_start];
         let hi = self.rowptr[row_end];
-        let rowptr: Vec<usize> = self.rowptr[row_start..=row_end].iter().map(|p| p - lo).collect();
+        let rowptr: Vec<usize> = self.rowptr[row_start..=row_end]
+            .iter()
+            .map(|p| p - lo)
+            .collect();
         Csr {
             nrows: row_end - row_start,
             ncols: self.ncols,
@@ -328,13 +334,41 @@ mod tests {
             3,
             3,
             &[
-                Triplet { row: 0, col: 0, val: 2.0 },
-                Triplet { row: 0, col: 1, val: -1.0 },
-                Triplet { row: 1, col: 0, val: -1.0 },
-                Triplet { row: 1, col: 1, val: 2.0 },
-                Triplet { row: 1, col: 2, val: -1.0 },
-                Triplet { row: 2, col: 1, val: -1.0 },
-                Triplet { row: 2, col: 2, val: 2.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 2,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 2,
+                    col: 1,
+                    val: -1.0,
+                },
+                Triplet {
+                    row: 2,
+                    col: 2,
+                    val: 2.0,
+                },
             ],
         )
     }
@@ -345,10 +379,26 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 1, val: 1.0 },
-                Triplet { row: 0, col: 0, val: 2.0 },
-                Triplet { row: 0, col: 1, val: 3.0 },
-                Triplet { row: 1, col: 1, val: 5.0 },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 3.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 5.0,
+                },
             ],
         );
         assert_eq!(a.nnz(), 3);
@@ -420,8 +470,16 @@ mod tests {
             2,
             3,
             &[
-                Triplet { row: 0, col: 2, val: 1.0 },
-                Triplet { row: 1, col: 0, val: 4.0 },
+                Triplet {
+                    row: 0,
+                    col: 2,
+                    val: 1.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: 4.0,
+                },
             ],
         );
         let t = a.transpose();
@@ -452,7 +510,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn triplet_out_of_bounds_panics() {
-        Csr::from_triplets(2, 2, &[Triplet { row: 2, col: 0, val: 1.0 }]);
+        Csr::from_triplets(
+            2,
+            2,
+            &[Triplet {
+                row: 2,
+                col: 0,
+                val: 1.0,
+            }],
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Csr, MmError> {
         return Err(MmError::Format("size line must have 3 fields".into()));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
-    let mut triplets = Vec::with_capacity(if symmetry == "symmetric" { 2 * nnz } else { nnz });
+    let mut triplets = Vec::with_capacity(if symmetry == "symmetric" {
+        2 * nnz
+    } else {
+        nnz
+    });
     let mut read = 0usize;
     for line in lines {
         let line = line?;
@@ -129,9 +133,17 @@ pub fn read_matrix_market_from<R: BufRead>(reader: R) -> Result<Csr, MmError> {
         if i == 0 || j == 0 || i > nrows || j > ncols {
             return Err(MmError::Format(format!("entry ({i}, {j}) out of bounds")));
         }
-        triplets.push(Triplet { row: i - 1, col: j - 1, val: v });
+        triplets.push(Triplet {
+            row: i - 1,
+            col: j - 1,
+            val: v,
+        });
         if symmetry == "symmetric" && i != j {
-            triplets.push(Triplet { row: j - 1, col: i - 1, val: v });
+            triplets.push(Triplet {
+                row: j - 1,
+                col: i - 1,
+                val: v,
+            });
         }
         read += 1;
     }

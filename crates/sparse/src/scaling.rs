@@ -47,14 +47,12 @@ pub fn scale_rows_cols_by_max(a: &Csr) -> (Csr, Vec<f64>, Vec<f64>) {
         let rowptr = scaled.rowptr().to_vec();
         let vals = scaled.vals_mut();
         for i in 0..nrows {
-            let mut m = 0.0f64;
-            for p in rowptr[i]..rowptr[i + 1] {
-                m = m.max(vals[p].abs());
-            }
+            let row_vals = &mut vals[rowptr[i]..rowptr[i + 1]];
+            let m = row_vals.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
             let s = if m > 0.0 { 1.0 / m } else { 1.0 };
             row_scale[i] = s;
-            for p in rowptr[i]..rowptr[i + 1] {
-                vals[p] *= s;
+            for v in row_vals {
+                *v *= s;
             }
         }
     }
@@ -88,10 +86,26 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 0, val: 4.0 },
-                Triplet { row: 1, col: 1, val: 9.0 },
-                Triplet { row: 0, col: 1, val: 2.0 },
-                Triplet { row: 1, col: 0, val: 2.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 4.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 9.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 0,
+                    val: 2.0,
+                },
             ],
         );
         assert!(a.is_symmetric(0.0));
@@ -105,9 +119,21 @@ mod tests {
             2,
             2,
             &[
-                Triplet { row: 0, col: 0, val: 4.0 },
-                Triplet { row: 0, col: 1, val: 2.0 },
-                Triplet { row: 1, col: 1, val: 8.0 },
+                Triplet {
+                    row: 0,
+                    col: 0,
+                    val: 4.0,
+                },
+                Triplet {
+                    row: 0,
+                    col: 1,
+                    val: 2.0,
+                },
+                Triplet {
+                    row: 1,
+                    col: 1,
+                    val: 8.0,
+                },
             ],
         );
         let (s, row_scale, col_scale) = scale_rows_cols_by_max(&a);
@@ -124,7 +150,15 @@ mod tests {
 
     #[test]
     fn zero_rows_and_columns_are_left_alone() {
-        let a = Csr::from_triplets(3, 3, &[Triplet { row: 0, col: 0, val: 5.0 }]);
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[Triplet {
+                row: 0,
+                col: 0,
+                val: 5.0,
+            }],
+        );
         let (s, row_scale, col_scale) = scale_rows_cols_by_max(&a);
         assert_eq!(s.to_dense()[(0, 0)], 1.0);
         assert_eq!(row_scale[1], 1.0);

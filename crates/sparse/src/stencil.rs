@@ -21,18 +21,38 @@ pub fn laplace2d_5pt(nx: usize, ny: usize) -> Csr {
     for j in 0..ny {
         for i in 0..nx {
             let row = idx(i, j);
-            t.push(Triplet { row, col: row, val: 4.0 });
+            t.push(Triplet {
+                row,
+                col: row,
+                val: 4.0,
+            });
             if i > 0 {
-                t.push(Triplet { row, col: idx(i - 1, j), val: -1.0 });
+                t.push(Triplet {
+                    row,
+                    col: idx(i - 1, j),
+                    val: -1.0,
+                });
             }
             if i + 1 < nx {
-                t.push(Triplet { row, col: idx(i + 1, j), val: -1.0 });
+                t.push(Triplet {
+                    row,
+                    col: idx(i + 1, j),
+                    val: -1.0,
+                });
             }
             if j > 0 {
-                t.push(Triplet { row, col: idx(i, j - 1), val: -1.0 });
+                t.push(Triplet {
+                    row,
+                    col: idx(i, j - 1),
+                    val: -1.0,
+                });
             }
             if j + 1 < ny {
-                t.push(Triplet { row, col: idx(i, j + 1), val: -1.0 });
+                t.push(Triplet {
+                    row,
+                    col: idx(i, j + 1),
+                    val: -1.0,
+                });
             }
         }
     }
@@ -49,7 +69,11 @@ pub fn laplace2d_9pt(nx: usize, ny: usize) -> Csr {
     for j in 0..ny {
         for i in 0..nx {
             let row = idx(i, j);
-            t.push(Triplet { row, col: row, val: 8.0 });
+            t.push(Triplet {
+                row,
+                col: row,
+                val: 8.0,
+            });
             for dj in -1i64..=1 {
                 for di in -1i64..=1 {
                     if di == 0 && dj == 0 {
@@ -82,24 +106,52 @@ pub fn laplace3d_7pt(nx: usize, ny: usize, nz: usize) -> Csr {
         for j in 0..ny {
             for i in 0..nx {
                 let row = idx(i, j, k);
-                t.push(Triplet { row, col: row, val: 6.0 });
+                t.push(Triplet {
+                    row,
+                    col: row,
+                    val: 6.0,
+                });
                 if i > 0 {
-                    t.push(Triplet { row, col: idx(i - 1, j, k), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i - 1, j, k),
+                        val: -1.0,
+                    });
                 }
                 if i + 1 < nx {
-                    t.push(Triplet { row, col: idx(i + 1, j, k), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i + 1, j, k),
+                        val: -1.0,
+                    });
                 }
                 if j > 0 {
-                    t.push(Triplet { row, col: idx(i, j - 1, k), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i, j - 1, k),
+                        val: -1.0,
+                    });
                 }
                 if j + 1 < ny {
-                    t.push(Triplet { row, col: idx(i, j + 1, k), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i, j + 1, k),
+                        val: -1.0,
+                    });
                 }
                 if k > 0 {
-                    t.push(Triplet { row, col: idx(i, j, k - 1), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i, j, k - 1),
+                        val: -1.0,
+                    });
                 }
                 if k + 1 < nz {
-                    t.push(Triplet { row, col: idx(i, j, k + 1), val: -1.0 });
+                    t.push(Triplet {
+                        row,
+                        col: idx(i, j, k + 1),
+                        val: -1.0,
+                    });
                 }
             }
         }
@@ -127,11 +179,19 @@ pub fn elasticity3d(nx: usize, ny: usize, nz: usize) -> Csr {
                 for c in 0..3 {
                     let row = base + c;
                     // Diagonal: Laplacian weight + coupling shift to keep SPD.
-                    t.push(Triplet { row, col: row, val: 6.0 + 2.0 * gamma });
+                    t.push(Triplet {
+                        row,
+                        col: row,
+                        val: 6.0 + 2.0 * gamma,
+                    });
                     // Couple to the other two components of the same node.
                     for c2 in 0..3 {
                         if c2 != c {
-                            t.push(Triplet { row, col: base + c2, val: -gamma });
+                            t.push(Triplet {
+                                row,
+                                col: base + c2,
+                                val: -gamma,
+                            });
                         }
                     }
                     // Component-wise Laplacian neighbours (same component).
@@ -222,7 +282,11 @@ mod tests {
         assert_eq!(a.nrows(), 81);
         assert!(a.is_symmetric(1e-14));
         let vals = dense::sym_eigvals(&a.to_dense());
-        assert!(vals[0] > 0.0, "elasticity operator must be SPD, min eig {}", vals[0]);
+        assert!(
+            vals[0] > 0.0,
+            "elasticity operator must be SPD, min eig {}",
+            vals[0]
+        );
         // Each row couples to the two other components of its node.
         let (cols, _) = a.row(0);
         assert!(cols.contains(&1) && cols.contains(&2));

@@ -39,13 +39,55 @@ pub struct SuiteLikeSpec {
 /// with the dimensions and densities reported in the paper (scaled-down
 /// dimensions can be requested at generation time).
 pub const SUITE_SPARSE_SET: &[SuiteLikeSpec] = &[
-    SuiteLikeSpec { name: "atmosmodl", n: 1_489_752, nnz_per_row: 6.9, spd: false, description: "CFD, numerically non-symmetric" },
-    SuiteLikeSpec { name: "dielFilterV2real", n: 1_157_456, nnz_per_row: 41.9, spd: false, description: "Electromagnetics, symmetric indefinite" },
-    SuiteLikeSpec { name: "ecology2", n: 999_999, nnz_per_row: 5.0, spd: true, description: "Circuit, SPD" },
-    SuiteLikeSpec { name: "ML_Geer", n: 1_504_002, nnz_per_row: 73.7, spd: false, description: "Structural, numerically non-symmetric" },
-    SuiteLikeSpec { name: "thermal2", n: 1_228_045, nnz_per_row: 7.0, spd: true, description: "Unstructured thermal FEM, SPD" },
-    SuiteLikeSpec { name: "HTC_336_4438", n: 226_340, nnz_per_row: 3.5, spd: false, description: "Fig. 9 matrix with ill-conditioned MPK basis" },
-    SuiteLikeSpec { name: "Ga41As41H72", n: 268_096, nnz_per_row: 68.6, spd: false, description: "Fig. 9 matrix with ill-conditioned MPK basis" },
+    SuiteLikeSpec {
+        name: "atmosmodl",
+        n: 1_489_752,
+        nnz_per_row: 6.9,
+        spd: false,
+        description: "CFD, numerically non-symmetric",
+    },
+    SuiteLikeSpec {
+        name: "dielFilterV2real",
+        n: 1_157_456,
+        nnz_per_row: 41.9,
+        spd: false,
+        description: "Electromagnetics, symmetric indefinite",
+    },
+    SuiteLikeSpec {
+        name: "ecology2",
+        n: 999_999,
+        nnz_per_row: 5.0,
+        spd: true,
+        description: "Circuit, SPD",
+    },
+    SuiteLikeSpec {
+        name: "ML_Geer",
+        n: 1_504_002,
+        nnz_per_row: 73.7,
+        spd: false,
+        description: "Structural, numerically non-symmetric",
+    },
+    SuiteLikeSpec {
+        name: "thermal2",
+        n: 1_228_045,
+        nnz_per_row: 7.0,
+        spd: true,
+        description: "Unstructured thermal FEM, SPD",
+    },
+    SuiteLikeSpec {
+        name: "HTC_336_4438",
+        n: 226_340,
+        nnz_per_row: 3.5,
+        spd: false,
+        description: "Fig. 9 matrix with ill-conditioned MPK basis",
+    },
+    SuiteLikeSpec {
+        name: "Ga41As41H72",
+        n: 268_096,
+        nnz_per_row: 68.6,
+        spd: false,
+        description: "Fig. 9 matrix with ill-conditioned MPK basis",
+    },
 ];
 
 /// Generate a surrogate for `spec`, optionally overriding the dimension
@@ -100,7 +142,9 @@ pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, se
             let val = if spec.spd {
                 // Symmetric value determined by the unordered pair (i, j).
                 let (a, b) = if i < j { (i, j) } else { (j, i) };
-                let h = (a.wrapping_mul(0x9E37_79B9).wrapping_add(b.wrapping_mul(0x85EB_CA6B))) as u64;
+                let h = (a
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(b.wrapping_mul(0x85EB_CA6B))) as u64;
                 -(0.1 + 0.9 * ((h % 1000) as f64 / 1000.0))
             } else {
                 // Non-symmetric: random magnitude with a skew sign pattern.
@@ -111,7 +155,11 @@ pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, se
                 }
             };
             row_abs_sum += val.abs();
-            t.push(Triplet { row: i, col: j, val });
+            t.push(Triplet {
+                row: i,
+                col: j,
+                val,
+            });
         }
         // Diagonal: dominant for SPD (guarantees positive definiteness);
         // mildly dominant otherwise so GMRES converges without a
@@ -121,7 +169,11 @@ pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, se
         } else {
             row_abs_sum * (1.05 + 0.1 * rng.random::<f64>())
         };
-        t.push(Triplet { row: i, col: i, val: diag });
+        t.push(Triplet {
+            row: i,
+            col: i,
+            val: diag,
+        });
     }
     Csr::from_triplets(n, n, &t)
 }
@@ -180,7 +232,7 @@ mod tests {
         assert!(!a.is_symmetric(1e-12));
         // Diagonal dominance implies nonsingularity.
         let d = a.diagonal();
-        for i in 0..a.nrows() {
+        for (i, &di) in d.iter().enumerate() {
             let (cols, vals) = a.row(i);
             let off: f64 = cols
                 .iter()
@@ -188,7 +240,7 @@ mod tests {
                 .filter(|(c, _)| **c != i)
                 .map(|(_, v)| v.abs())
                 .sum();
-            assert!(d[i] > off * 0.999, "row {i} not dominant");
+            assert!(di > off * 0.999, "row {i} not dominant");
         }
     }
 

@@ -47,7 +47,10 @@ pub fn glued_matrix(spec: &GluedSpec, seed: u64) -> Matrix {
         glue_cond,
     } = *spec;
     assert!(panel_cols >= 1 && num_panels >= 1, "empty glued matrix");
-    assert!(panel_cond >= 1.0 && glue_cond >= 1.0, "condition numbers must be >= 1");
+    assert!(
+        panel_cond >= 1.0 && glue_cond >= 1.0,
+        "condition numbers must be >= 1"
+    );
     let total_cols = panel_cols * num_panels;
     assert!(
         nrows >= total_cols,

@@ -18,7 +18,9 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 /// An `nrows × ncols` matrix with i.i.d. standard-normal entries.
 pub fn random_dense(nrows: usize, ncols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<f64> = (0..nrows * ncols).map(|_| standard_normal(&mut rng)).collect();
+    let data: Vec<f64> = (0..nrows * ncols)
+        .map(|_| standard_normal(&mut rng))
+        .collect();
     Matrix::from_col_major(nrows, ncols, data)
 }
 
@@ -65,7 +67,12 @@ mod tests {
     fn random_dense_has_roughly_unit_variance() {
         let a = random_dense(20_000, 1, 5);
         let mean: f64 = a.data().iter().sum::<f64>() / 20_000.0;
-        let var: f64 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 20_000.0;
+        let var: f64 = a
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / 20_000.0;
         assert!(mean.abs() < 0.05, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.1, "var = {var}");
     }

@@ -33,14 +33,23 @@ fn main() {
         });
         let result = solver.solve(&dist, &Identity, &b[lo..hi], &mut x);
         let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
-        (rank, result.converged, result.iterations, result.comm_ortho.allreduces, err)
+        (
+            rank,
+            result.converged,
+            result.iterations,
+            result.comm_ortho.allreduces,
+            err,
+        )
     });
     for (rank, converged, iters, reduces, err) in &results {
         println!(
             "  rank {rank}: converged={converged} iters={iters} ortho-reduces={reduces} max|x-1|={err:.2e}"
         );
     }
-    assert!(results.iter().all(|r| r.1), "distributed solve must converge");
+    assert!(
+        results.iter().all(|r| r.1),
+        "distributed solve must converge"
+    );
 
     // --- Part 2: modeled strong scaling at the paper's size. ---
     println!("\nModeled strong scaling, n = 2000^2, Summit nodes (6 GPUs each):");
@@ -55,7 +64,11 @@ fn main() {
         for (label, scheme, iters) in [
             ("GMRES + CGS2", SchemeKind::StandardCgs2, 60_251usize),
             ("s-step + BCGS-PIP2", SchemeKind::BcgsPip2, 60_255),
-            ("s-step + two-stage", SchemeKind::TwoStage { bs: 60 }, 60_300),
+            (
+                "s-step + two-stage",
+                SchemeKind::TwoStage { bs: 60 },
+                60_300,
+            ),
         ] {
             let t = solver_time(scheme, &problem, &machine, ranks, 5, 60, iters, 0);
             println!(

@@ -13,7 +13,11 @@ fn main() {
     let a = laplace2d_5pt(nx, nx);
     let x_true = vec![1.0; a.nrows()];
     let b = a.spmv_alloc(&x_true);
-    println!("Problem: 2D Laplace {nx}x{nx} ({} unknowns, {} nonzeros)", a.nrows(), a.nnz());
+    println!(
+        "Problem: 2D Laplace {nx}x{nx} ({} unknowns, {} nonzeros)",
+        a.nrows(),
+        a.nnz()
+    );
 
     // Standard GMRES(60) with column-wise CGS2 — the paper's baseline.
     let standard = SStepGmres::new(GmresConfig {
@@ -40,7 +44,10 @@ fn main() {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max)
     };
-    println!("\n{:<28} {:>10} {:>14} {:>14} {:>12}", "solver", "# iters", "ortho reduces", "final relres", "max |x-1|");
+    println!(
+        "\n{:<28} {:>10} {:>14} {:>14} {:>12}",
+        "solver", "# iters", "ortho reduces", "final relres", "max |x-1|"
+    );
     println!(
         "{:<28} {:>10} {:>14} {:>14.2e} {:>12.2e}",
         "standard GMRES + CGS2",

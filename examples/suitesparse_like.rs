@@ -6,7 +6,9 @@
 //! path: `cargo run --release --example suitesparse_like -- path/to/matrix.mtx`
 //! — otherwise the built-in synthetic surrogates are used.
 
-use sparse::{read_matrix_market, scale_rows_cols_by_max, suitesparse_surrogate, Csr, SUITE_SPARSE_SET};
+use sparse::{
+    read_matrix_market, scale_rows_cols_by_max, suitesparse_surrogate, Csr, SUITE_SPARSE_SET,
+};
 use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
 
 fn solve_all(name: &str, a: &Csr) {
@@ -21,14 +23,36 @@ fn solve_all(name: &str, a: &Csr) {
         "variant", "iters", "ortho reduces", "relres", "converged"
     );
     let variants: [(&str, GmresConfig); 4] = [
-        ("standard CGS2", GmresConfig { restart: 60, tol: 1e-6, max_iters: 60_000, ..standard_gmres_config() }),
+        (
+            "standard CGS2",
+            GmresConfig {
+                restart: 60,
+                tol: 1e-6,
+                max_iters: 60_000,
+                ..standard_gmres_config()
+            },
+        ),
         (
             "s-step BCGS2-CholQR2",
-            GmresConfig { restart: 60, step_size: 5, tol: 1e-6, max_iters: 60_000, ortho: OrthoKind::Bcgs2CholQr2, ..GmresConfig::default() },
+            GmresConfig {
+                restart: 60,
+                step_size: 5,
+                tol: 1e-6,
+                max_iters: 60_000,
+                ortho: OrthoKind::Bcgs2CholQr2,
+                ..GmresConfig::default()
+            },
         ),
         (
             "s-step BCGS-PIP2",
-            GmresConfig { restart: 60, step_size: 5, tol: 1e-6, max_iters: 60_000, ortho: OrthoKind::BcgsPip2, ..GmresConfig::default() },
+            GmresConfig {
+                restart: 60,
+                step_size: 5,
+                tol: 1e-6,
+                max_iters: 60_000,
+                ortho: OrthoKind::BcgsPip2,
+                ..GmresConfig::default()
+            },
         ),
         (
             "s-step two-stage",
@@ -74,6 +98,9 @@ fn main() {
     for spec in SUITE_SPARSE_SET.iter().take(5) {
         let raw = suitesparse_surrogate(spec, Some(n), 7);
         let (a, _, _) = scale_rows_cols_by_max(&raw);
-        solve_all(&format!("{} (surrogate, {})", spec.name, spec.description), &a);
+        solve_all(
+            &format!("{} (surrogate, {})", spec.name, spec.description),
+            &a,
+        );
     }
 }

@@ -32,11 +32,7 @@ pub use testmat;
 /// Solve `A·x = b` with the paper's recommended configuration
 /// (s-step GMRES, `s = 5`, restart 60, two-stage orthogonalization with
 /// `bs = m`), returning the solution and solve statistics.
-pub fn solve_two_stage(
-    a: &sparse::Csr,
-    b: &[f64],
-    tol: f64,
-) -> (Vec<f64>, ssgmres::SolveResult) {
+pub fn solve_two_stage(a: &sparse::Csr, b: &[f64], tol: f64) -> (Vec<f64>, ssgmres::SolveResult) {
     let config = ssgmres::GmresConfig {
         restart: 60,
         step_size: 5,

@@ -30,13 +30,17 @@ fn distributed_solve_matches_serial_solution() {
             let comm_dyn: Arc<dyn Communicator> = comm;
             let dist = DistCsr::from_global(comm_dyn, &a, &part);
             let mut x = vec![0.0; hi - lo];
-            let result = SStepGmres::new(config.clone()).solve(&dist, &Identity, &b[lo..hi], &mut x);
+            let result =
+                SStepGmres::new(config.clone()).solve(&dist, &Identity, &b[lo..hi], &mut x);
             (lo, x, result.converged, result.iterations)
         });
         let mut x_dist = vec![0.0; n];
         for (lo, x, converged, iterations) in &pieces {
             assert!(*converged, "nranks {nranks}");
-            assert_eq!(*iterations, serial_result.iterations, "iteration counts must match");
+            assert_eq!(
+                *iterations, serial_result.iterations,
+                "iteration counts must match"
+            );
             x_dist[*lo..*lo + x.len()].copy_from_slice(x);
         }
         for (p, q) in x_dist.iter().zip(&x_serial) {
@@ -63,7 +67,9 @@ fn distributed_block_orthogonalization_matches_serial() {
         let mut ortho = blockortho::make_orthogonalizer(kind, cols);
         let mut c = 0;
         while c < cols {
-            ortho.orthogonalize_panel(&mut basis, c..c + 4, &mut r).unwrap();
+            ortho
+                .orthogonalize_panel(&mut basis, c..c + 4, &mut r)
+                .unwrap();
             c += 4;
         }
         ortho.finish(&mut basis, &mut r).unwrap();
@@ -88,7 +94,9 @@ fn distributed_block_orthogonalization_matches_serial() {
             let mut ortho = blockortho::make_orthogonalizer(kind, cols);
             let mut c = 0;
             while c < cols {
-                ortho.orthogonalize_panel(&mut basis, c..c + 4, &mut r).unwrap();
+                ortho
+                    .orthogonalize_panel(&mut basis, c..c + 4, &mut r)
+                    .unwrap();
                 c += 4;
             }
             ortho.finish(&mut basis, &mut r).unwrap();
@@ -136,7 +144,9 @@ fn distributed_ortho_reduce_counts_are_rank_independent() {
             ortho.orthogonalize_panel(&mut basis, 0..1, &mut r).unwrap();
             let mut c = 1;
             while c < cols {
-                ortho.orthogonalize_panel(&mut basis, c..c + 5, &mut r).unwrap();
+                ortho
+                    .orthogonalize_panel(&mut basis, c..c + 5, &mut r)
+                    .unwrap();
                 c += 5;
             }
             ortho.finish(&mut basis, &mut r).unwrap();

@@ -137,9 +137,19 @@ fn reduce_counts_follow_the_papers_ordering_end_to_end() {
     let b = rhs_ones(&a);
     let run = |ortho, step| {
         let cfg = if step == 1 {
-            GmresConfig { restart: 30, tol: 1e-8, ..standard_gmres_config() }
+            GmresConfig {
+                restart: 30,
+                tol: 1e-8,
+                ..standard_gmres_config()
+            }
         } else {
-            GmresConfig { restart: 30, step_size: step, tol: 1e-8, ortho, ..GmresConfig::default() }
+            GmresConfig {
+                restart: 30,
+                step_size: step,
+                tol: 1e-8,
+                ortho,
+                ..GmresConfig::default()
+            }
         };
         SStepGmres::new(cfg).solve_serial(&a, &b).1
     };
