@@ -5,60 +5,352 @@
 //! * [`gram`]: `G = VᵀV` (the Gram matrix CholQR factorizes),
 //! * [`gemm_tn`]: `C = QᵀV` (the BCGS dot-product GEMM),
 //! * [`gemm_nn_minus`]: `V ← V − Q·R` (the BCGS vector-update GEMM),
-//! * [`trsm_right_upper`]: `Q ← V·R⁻¹` (the CholQR normalization TRSM).
+//! * [`trsm_right_upper`]: `Q ← V·R⁻¹` (the CholQR normalization TRSM),
 //!
-//! All four are parallelized over contiguous row chunks of the tall operand;
-//! the small `s×s`/`k×s` results are reduced deterministically in chunk
-//! order so repeated runs give bitwise-identical results.
+//! plus the fused [`fused_update_proj_gram`] (`V ← V − Q·P` together with
+//! `QᵀV` and `VᵀV` of the updated panel) that the two-sync BCGS schemes are
+//! built on.
+//!
+//! # Blocking strategy
+//!
+//! All kernels stream the tall `n×s` operands in **row panels** of
+//! [`ROW_BLOCK`] rows, and within a row panel compute **register tiles** of
+//! [`TILE`]×[`TILE`] output entries with scalar accumulators.  A row panel
+//! (`ROW_BLOCK × s` doubles) fits in L1/L2, so every tile of the small
+//! output consumes it from cache and each tall operand is read from memory
+//! once per kernel call — versus once per *column pair* for the naive
+//! dot-product formulation (retained as [`naive_gram`] etc. for benchmarks
+//! and property tests).  The 16 independent accumulators of a full tile
+//! also break the single-accumulator dependence chain that made the naive
+//! loops latency-bound.
+//!
+//! Parallelization is over contiguous row ranges via `parkit`; the small
+//! `s×s`/`k×s` partial results are reduced deterministically in chunk order
+//! (one code path: [`parkit::parallel_reduce_ranges`]), so repeated runs
+//! give bitwise-identical results for a given thread count.
 
 use crate::matrix::{MatView, MatViewMut, Matrix};
-use parkit::parallel_for_chunks;
+use parkit::{parallel_for_range, parallel_reduce_ranges};
+
+/// Register-tile width: each inner loop produces a `TILE×TILE` block of the
+/// output in scalar accumulators.
+pub const TILE: usize = 4;
+
+/// Rows per cache panel: a `ROW_BLOCK × s` panel of doubles (16 KiB at
+/// `s = 8`) stays resident while every register tile consumes it.
+pub const ROW_BLOCK: usize = 256;
+
+/// Shared-allocation column pointer handed to row-parallel workers; each
+/// worker only touches its own disjoint row range of each column.
+struct ColPtr(*mut f64);
+
+// SAFETY: workers dereference disjoint row ranges only (the same guarantee
+// `split_at_mut` encodes), and columns of a column-major matrix never
+// overlap.
+unsafe impl Sync for ColPtr {}
+
+impl ColPtr {
+    /// Mutable slice of rows `r0..r1` of column `col` (leading dimension `n`).
+    ///
+    /// # Safety
+    /// The caller must guarantee no other live reference overlaps the
+    /// requested segment.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn col_seg_mut(&self, n: usize, col: usize, r0: usize, r1: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(col * n + r0), r1 - r0)
+    }
+
+    /// Read-only slice of rows `r0..r1` of column `col`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no live mutable reference overlaps the
+    /// requested segment.
+    unsafe fn col_seg(&self, n: usize, col: usize, r0: usize, r1: usize) -> &[f64] {
+        std::slice::from_raw_parts(self.0.add(col * n + r0), r1 - r0)
+    }
+}
+
+/// Read-side column-major operand source for the tile kernels: rows
+/// `r0..r1` of one column at a time, never a reference spanning rows the
+/// caller does not own.
+///
+/// Two implementations, chosen by monomorphization:
+///
+/// * [`SliceCols`] — backed by a real `&[f64]`; segments are ordinary
+///   subslices, so LLVM keeps the `noalias`/`readonly` facts of the
+///   original reference (this is the fast path for [`gram`]/[`gemm_tn`],
+///   whose operands are never concurrently mutated);
+/// * [`RawCols`] — backed by a raw pointer, for
+///   [`fused_update_proj_gram`], where a whole-matrix shared slice would
+///   alias the in-place update (same worker) and other workers' disjoint
+///   row writes; each segment is materialized only for rows the worker
+///   owns, after its own mutable segments are dropped.
+trait ColSource: Copy {
+    /// Rows `r0..r1` of column `col` as a slice.
+    fn seg(&self, col: usize, r0: usize, r1: usize) -> &[f64];
+}
+
+/// Safe, slice-backed [`ColSource`] with leading dimension `n`.
+#[derive(Clone, Copy)]
+struct SliceCols<'a> {
+    data: &'a [f64],
+    n: usize,
+}
+
+impl ColSource for SliceCols<'_> {
+    #[inline]
+    fn seg(&self, col: usize, r0: usize, r1: usize) -> &[f64] {
+        &self.data[col * self.n + r0..col * self.n + r1]
+    }
+}
+
+/// Raw-pointer-backed [`ColSource`] over `len` elements.
+#[derive(Clone, Copy)]
+struct RawCols<'a> {
+    ptr: *const f64,
+    n: usize,
+    len: usize,
+    _life: std::marker::PhantomData<&'a [f64]>,
+}
+
+impl<'a> RawCols<'a> {
+    /// # Safety
+    /// For the lifetime `'a`, every row range later passed to `seg` must
+    /// be readable without a live overlapping `&mut`: the fused kernel
+    /// guarantees this by having each worker read only the row ranges it
+    /// owns, after its own mutable segments are dropped.
+    unsafe fn from_ptr(ptr: *const f64, n: usize, len: usize) -> Self {
+        Self {
+            ptr,
+            n,
+            len,
+            _life: std::marker::PhantomData,
+        }
+    }
+}
+
+impl ColSource for RawCols<'_> {
+    #[inline]
+    fn seg(&self, col: usize, r0: usize, r1: usize) -> &[f64] {
+        debug_assert!(r0 <= r1 && col * self.n + r1 <= self.len);
+        // SAFETY: in-bounds per the constructor contract; no overlapping
+        // `&mut` is live for rows the caller owns (see `from_ptr`).
+        unsafe { std::slice::from_raw_parts(self.ptr.add(col * self.n + r0), r1 - r0) }
+    }
+}
+
+/// Accumulate the register tile
+/// `out[i0..i0+iw, j0..j0+jw] += A[r0..r1, i0..]ᵀ · B[r0..r1, j0..]`
+/// where `A`/`B` are column-major with leading dimension `n` and `out` is
+/// `lda_out`-major (column-major with `lda_out` rows).
+///
+/// The full `4×4` tile is specialized with 16 explicit scalar accumulators;
+/// ragged edges take a generic two-way-unrolled path.
+#[inline]
+#[allow(clippy::too_many_arguments)] // leaf kernel: scalars beat a params struct here
+fn tn_tile<A: ColSource, B: ColSource>(
+    a: A,
+    b: B,
+    r0: usize,
+    r1: usize,
+    i0: usize,
+    iw: usize,
+    j0: usize,
+    jw: usize,
+    out: &mut [f64],
+    lda_out: usize,
+    // Output offsets: tile entry (ii, jj) lands at
+    // out[(oj0 + jj) * lda_out + oi0 + ii] (0, 0 for a scratch tile).
+    oi0: usize,
+    oj0: usize,
+) {
+    let len = r1 - r0;
+    if iw == TILE && jw == TILE {
+        let a0 = a.seg(i0, r0, r1);
+        let a1 = a.seg(i0 + 1, r0, r1);
+        let a2 = a.seg(i0 + 2, r0, r1);
+        let a3 = a.seg(i0 + 3, r0, r1);
+        let b0 = b.seg(j0, r0, r1);
+        let b1 = b.seg(j0 + 1, r0, r1);
+        let b2 = b.seg(j0 + 2, r0, r1);
+        let b3 = b.seg(j0 + 3, r0, r1);
+        let (mut c00, mut c10, mut c20, mut c30) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let (mut c01, mut c11, mut c21, mut c31) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let (mut c02, mut c12, mut c22, mut c32) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let (mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for r in 0..len {
+            let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
+            let (y0, y1, y2, y3) = (b0[r], b1[r], b2[r], b3[r]);
+            c00 += x0 * y0;
+            c10 += x1 * y0;
+            c20 += x2 * y0;
+            c30 += x3 * y0;
+            c01 += x0 * y1;
+            c11 += x1 * y1;
+            c21 += x2 * y1;
+            c31 += x3 * y1;
+            c02 += x0 * y2;
+            c12 += x1 * y2;
+            c22 += x2 * y2;
+            c32 += x3 * y2;
+            c03 += x0 * y3;
+            c13 += x1 * y3;
+            c23 += x2 * y3;
+            c33 += x3 * y3;
+        }
+        let tile = [
+            [c00, c10, c20, c30],
+            [c01, c11, c21, c31],
+            [c02, c12, c22, c32],
+            [c03, c13, c23, c33],
+        ];
+        for (jj, col) in tile.iter().enumerate() {
+            for (ii, &v) in col.iter().enumerate() {
+                out[(oj0 + jj) * lda_out + oi0 + ii] += v;
+            }
+        }
+    } else {
+        for jj in 0..jw {
+            let bj = b.seg(j0 + jj, r0, r1);
+            for ii in 0..iw {
+                let ai = a.seg(i0 + ii, r0, r1);
+                let (mut s0, mut s1) = (0.0f64, 0.0f64);
+                let mut r = 0;
+                while r + 1 < len {
+                    s0 += ai[r] * bj[r];
+                    s1 += ai[r + 1] * bj[r + 1];
+                    r += 2;
+                }
+                if r < len {
+                    s0 += ai[r] * bj[r];
+                }
+                out[(oj0 + jj) * lda_out + oi0 + ii] += s0 + s1;
+            }
+        }
+    }
+}
+
+/// Accumulate the upper triangle of the symmetric diagonal tile
+/// `out[j0..j0+4, j0..j0+4] += A[r0..r1, j0..]ᵀ · A[r0..r1, j0..]`
+/// with 10 scalar accumulators (the Gram diagonal-block case — computing
+/// the full square and discarding the lower half would waste 6/16 of the
+/// tile's flops).
+#[inline]
+fn sym_tile4<A: ColSource>(a: A, r0: usize, r1: usize, j0: usize, out: &mut [f64], lda: usize) {
+    let len = r1 - r0;
+    let a0 = a.seg(j0, r0, r1);
+    let a1 = a.seg(j0 + 1, r0, r1);
+    let a2 = a.seg(j0 + 2, r0, r1);
+    let a3 = a.seg(j0 + 3, r0, r1);
+    let (mut c00, mut c01, mut c11, mut c02, mut c12) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let (mut c22, mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for r in 0..len {
+        let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
+        c00 += x0 * x0;
+        c01 += x0 * x1;
+        c11 += x1 * x1;
+        c02 += x0 * x2;
+        c12 += x1 * x2;
+        c22 += x2 * x2;
+        c03 += x0 * x3;
+        c13 += x1 * x3;
+        c23 += x2 * x3;
+        c33 += x3 * x3;
+    }
+    out[j0 * lda + j0] += c00;
+    out[(j0 + 1) * lda + j0] += c01;
+    out[(j0 + 1) * lda + j0 + 1] += c11;
+    out[(j0 + 2) * lda + j0] += c02;
+    out[(j0 + 2) * lda + j0 + 1] += c12;
+    out[(j0 + 2) * lda + j0 + 2] += c22;
+    out[(j0 + 3) * lda + j0] += c03;
+    out[(j0 + 3) * lda + j0 + 1] += c13;
+    out[(j0 + 3) * lda + j0 + 2] += c23;
+    out[(j0 + 3) * lda + j0 + 3] += c33;
+}
+
+/// Accumulate `out += A[rows, :ka]ᵀ · B[rows, :kb]` for one row block,
+/// tiling both output dimensions.  With `upper_only` set (the Gram case,
+/// `A == B`), only tiles on or above the block diagonal are visited and
+/// only entries `i ≤ j` are stored.
+#[inline]
+#[allow(clippy::too_many_arguments)] // leaf kernel: scalars beat a params struct here
+fn tn_row_block<A: ColSource, B: ColSource>(
+    a: A,
+    b: B,
+    r0: usize,
+    r1: usize,
+    ka: usize,
+    kb: usize,
+    out: &mut [f64],
+    upper_only: bool,
+) {
+    let mut jb = 0;
+    while jb < kb {
+        let jw = TILE.min(kb - jb);
+        let ib_end = if upper_only { jb + jw } else { ka };
+        let mut ib = 0;
+        while ib < ib_end {
+            let iw = TILE.min(ka - ib);
+            if upper_only && ib == jb && iw == TILE && jw == TILE {
+                // Full diagonal tile: symmetric accumulation, upper half only.
+                sym_tile4(a, r0, r1, jb, out, ka);
+            } else if upper_only && ib + iw > jb {
+                // Ragged diagonal tile: compute into a scratch tile, keep i ≤ j.
+                let mut scratch = [0.0f64; TILE * TILE];
+                tn_tile(a, b, r0, r1, ib, iw, jb, jw, &mut scratch, TILE, 0, 0);
+                for jj in 0..jw {
+                    for ii in 0..iw {
+                        if ib + ii <= jb + jj {
+                            out[(jb + jj) * ka + ib + ii] += scratch[jj * TILE + ii];
+                        }
+                    }
+                }
+            } else {
+                tn_tile(a, b, r0, r1, ib, iw, jb, jw, out, ka, ib, jb);
+            }
+            ib += TILE;
+        }
+        jb += TILE;
+    }
+}
 
 /// Gram matrix `G = VᵀV` of a tall-skinny panel `V ∈ R^{n×s}`.
 ///
-/// Only the upper triangle is computed during the reduction; the result is
-/// symmetrized before returning.
+/// Single pass over `V` per call (row-panel blocked, `TILE`-wide register
+/// tiles); parallelized over row ranges with the partial Gram matrices
+/// reduced in deterministic chunk order.  Only the upper triangle is
+/// computed during the reduction; the result is symmetrized before
+/// returning.
 pub fn gram(v: &MatView<'_>) -> Matrix {
     let n = v.nrows();
     let s = v.ncols();
-    let data = v.data();
-    // Reduce over explicit row blocks (chunking the flat column-major data
-    // would split columns across workers).
-    let nthreads = parkit::num_threads_for(n);
-    let ranges = parkit::chunk_ranges(n, nthreads);
-    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|r| {
-                let (start, end) = (r.start, r.end);
-                scope.spawn(move || {
-                    let mut g = vec![0.0f64; s * s];
-                    for j in 0..s {
-                        let cj = &data[j * n + start..j * n + end];
-                        for i in 0..=j {
-                            let ci = &data[i * n + start..i * n + end];
-                            let mut acc = 0.0;
-                            for (a, b) in ci.iter().zip(cj) {
-                                acc += a * b;
-                            }
-                            g[j * s + i] += acc;
-                        }
-                    }
-                    g
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gram worker panicked"))
-            .collect()
-    });
-    let mut g = Matrix::zeros(s, s);
-    for p in partials {
-        for (dst, src) in g.data_mut().iter_mut().zip(&p) {
-            *dst += src;
-        }
+    if s == 0 {
+        return Matrix::zeros(0, 0);
     }
+    let data = v.data();
+    let partial = parallel_reduce_ranges(
+        n,
+        vec![0.0f64; s * s],
+        |start, end| {
+            let cols = SliceCols { data, n };
+            let mut g = vec![0.0f64; s * s];
+            let mut rb = start;
+            while rb < end {
+                let re = (rb + ROW_BLOCK).min(end);
+                tn_row_block(cols, cols, rb, re, s, s, &mut g, true);
+                rb = re;
+            }
+            g
+        },
+        |mut acc, p| {
+            for (dst, src) in acc.iter_mut().zip(&p) {
+                *dst += src;
+            }
+            acc
+        },
+    );
+    let mut g = Matrix::from_col_major(s, s, partial);
     // Symmetrize: copy upper triangle to lower.
     for j in 0..s {
         for i in 0..j {
@@ -72,6 +364,8 @@ pub fn gram(v: &MatView<'_>) -> Matrix {
 /// `C = AᵀB` for tall-skinny `A ∈ R^{n×k}`, `B ∈ R^{n×s}` (`k`, `s` small).
 ///
 /// This is the "dot-products" GEMM of BCGS (`R_{1:j−1,j} = Qᵀ_{1:j−1} V_j`).
+/// Row-panel blocked and register-tiled like [`gram`]; each tall operand is
+/// streamed once per call.
 pub fn gemm_tn(a: &MatView<'_>, b: &MatView<'_>) -> Matrix {
     assert_eq!(a.nrows(), b.nrows(), "gemm_tn: row mismatch");
     let n = a.nrows();
@@ -82,49 +376,189 @@ pub fn gemm_tn(a: &MatView<'_>, b: &MatView<'_>) -> Matrix {
     }
     let adata = a.data();
     let bdata = b.data();
-    let nthreads = parkit::num_threads_for(n);
-    let ranges = parkit::chunk_ranges(n, nthreads);
-    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|r| {
-                let (start, end) = (r.start, r.end);
-                scope.spawn(move || {
-                    let mut c = vec![0.0f64; k * s];
-                    for j in 0..s {
-                        let bj = &bdata[j * n + start..j * n + end];
-                        for i in 0..k {
-                            let ai = &adata[i * n + start..i * n + end];
-                            let mut acc = 0.0;
-                            for (x, y) in ai.iter().zip(bj) {
-                                acc += x * y;
-                            }
-                            c[j * k + i] += acc;
-                        }
-                    }
-                    c
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gemm_tn worker panicked"))
-            .collect()
-    });
-    let mut c = Matrix::zeros(k, s);
-    for p in partials {
-        for (dst, src) in c.data_mut().iter_mut().zip(&p) {
-            *dst += src;
+    let partial = parallel_reduce_ranges(
+        n,
+        vec![0.0f64; k * s],
+        |start, end| {
+            let a_cols = SliceCols { data: adata, n };
+            let b_cols = SliceCols { data: bdata, n };
+            let mut c = vec![0.0f64; k * s];
+            let mut rb = start;
+            while rb < end {
+                let re = (rb + ROW_BLOCK).min(end);
+                tn_row_block(a_cols, b_cols, rb, re, k, s, &mut c, false);
+                rb = re;
+            }
+            c
+        },
+        |mut acc, p| {
+            for (dst, src) in acc.iter_mut().zip(&p) {
+                *dst += src;
+            }
+            acc
+        },
+    );
+    Matrix::from_col_major(k, s, partial)
+}
+
+/// Update one row block of `V ← V − Q·R`: column tiles of `V` stay hot in
+/// L1 while the matching `Q` tiles stream through.
+///
+/// Per element the subtraction runs over `k` in index order with a single
+/// accumulator, so the result is bitwise-identical to the naive column
+/// sweep ([`naive_gemm_nn_minus`]).
+///
+/// # Safety
+/// `vcols` must point into an `n`-row column-major matrix with at least
+/// `r.ncols()` columns, and rows `r0..r1` of it must not be aliased.
+#[inline]
+#[allow(clippy::too_many_arguments)] // leaf kernel: scalars beat a params struct here
+unsafe fn update_cols_generic(
+    vcols: &ColPtr,
+    qdata: &[f64],
+    r: &Matrix,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    jb: usize,
+    jw: usize,
+    kb: usize,
+    kend: usize,
+) {
+    for jj in 0..jw {
+        let vj = vcols.col_seg_mut(n, jb + jj, r0, r1);
+        for kk in kb..kend {
+            let alpha = r[(kk, jb + jj)];
+            if alpha != 0.0 {
+                let qk = &qdata[kk * n + r0..kk * n + r1];
+                for (o, q) in vj.iter_mut().zip(qk) {
+                    *o -= alpha * q;
+                }
+            }
         }
     }
-    c
+}
+
+unsafe fn update_row_block(
+    vcols: &ColPtr,
+    qdata: &[f64],
+    r: &Matrix,
+    n: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let k = r.nrows();
+    let s = r.ncols();
+    let len = r1 - r0;
+    let mut jb = 0;
+    while jb < s {
+        let jw = TILE.min(s - jb);
+        if jw == TILE {
+            let mut kb = 0;
+            while kb < k {
+                let kw = TILE.min(k - kb);
+                // A zero coefficient must be *skipped* (not multiplied) to
+                // stay bitwise-faithful to the naive sweep: x - 0.0*q can
+                // flip a -0.0 and poisons V when q is Inf/NaN.  Zero
+                // coefficients only appear in structured R blocks, so the
+                // fast tile requires all 16 to be nonzero.
+                let tile_ok = kw == TILE
+                    && (0..TILE).all(|jj| (0..TILE).all(|kk| r[(kb + kk, jb + jj)] != 0.0));
+                if tile_ok {
+                    let v0 = vcols.col_seg_mut(n, jb, r0, r1);
+                    let v1 = vcols.col_seg_mut(n, jb + 1, r0, r1);
+                    let v2 = vcols.col_seg_mut(n, jb + 2, r0, r1);
+                    let v3 = vcols.col_seg_mut(n, jb + 3, r0, r1);
+                    let q0 = &qdata[kb * n + r0..kb * n + r1];
+                    let q1 = &qdata[(kb + 1) * n + r0..(kb + 1) * n + r1];
+                    let q2 = &qdata[(kb + 2) * n + r0..(kb + 2) * n + r1];
+                    let q3 = &qdata[(kb + 3) * n + r0..(kb + 3) * n + r1];
+                    let c = [
+                        [
+                            r[(kb, jb)],
+                            r[(kb + 1, jb)],
+                            r[(kb + 2, jb)],
+                            r[(kb + 3, jb)],
+                        ],
+                        [
+                            r[(kb, jb + 1)],
+                            r[(kb + 1, jb + 1)],
+                            r[(kb + 2, jb + 1)],
+                            r[(kb + 3, jb + 1)],
+                        ],
+                        [
+                            r[(kb, jb + 2)],
+                            r[(kb + 1, jb + 2)],
+                            r[(kb + 2, jb + 2)],
+                            r[(kb + 3, jb + 2)],
+                        ],
+                        [
+                            r[(kb, jb + 3)],
+                            r[(kb + 1, jb + 3)],
+                            r[(kb + 2, jb + 3)],
+                            r[(kb + 3, jb + 3)],
+                        ],
+                    ];
+                    for rr in 0..len {
+                        let (x0, x1, x2, x3) = (q0[rr], q1[rr], q2[rr], q3[rr]);
+                        let mut a0 = v0[rr];
+                        a0 -= x0 * c[0][0];
+                        a0 -= x1 * c[0][1];
+                        a0 -= x2 * c[0][2];
+                        a0 -= x3 * c[0][3];
+                        v0[rr] = a0;
+                        let mut a1 = v1[rr];
+                        a1 -= x0 * c[1][0];
+                        a1 -= x1 * c[1][1];
+                        a1 -= x2 * c[1][2];
+                        a1 -= x3 * c[1][3];
+                        v1[rr] = a1;
+                        let mut a2 = v2[rr];
+                        a2 -= x0 * c[2][0];
+                        a2 -= x1 * c[2][1];
+                        a2 -= x2 * c[2][2];
+                        a2 -= x3 * c[2][3];
+                        v2[rr] = a2;
+                        let mut a3 = v3[rr];
+                        a3 -= x0 * c[3][0];
+                        a3 -= x1 * c[3][1];
+                        a3 -= x2 * c[3][2];
+                        a3 -= x3 * c[3][3];
+                        v3[rr] = a3;
+                    }
+                } else {
+                    // Ragged k remainder or a tile containing zero
+                    // coefficients: per-column axpy sweep with the naive
+                    // skip, still in increasing-k order.
+                    update_cols_generic(
+                        vcols,
+                        qdata,
+                        r,
+                        n,
+                        r0,
+                        r1,
+                        jb,
+                        TILE,
+                        kb,
+                        (kb + TILE).min(k),
+                    );
+                }
+                kb += TILE;
+            }
+        } else {
+            update_cols_generic(vcols, qdata, r, n, r0, r1, jb, jw, 0, k);
+        }
+        jb += TILE;
+    }
 }
 
 /// `V ← V − Q·R` for tall-skinny `Q ∈ R^{n×k}`, small `R ∈ R^{k×s}` and
 /// tall-skinny `V ∈ R^{n×s}` updated in place.
 ///
 /// This is the "vector-update" GEMM of BCGS
-/// (`V̂_j = V_j − Q_{1:j−1} R_{1:j−1,j}`).
+/// (`V̂_j = V_j − Q_{1:j−1} R_{1:j−1,j}`).  Row-parallel and row-panel
+/// blocked: each worker streams its rows of `Q` once while its `V` panel
+/// stays in cache.
 pub fn gemm_nn_minus(v: &mut MatViewMut<'_>, q: &MatView<'_>, r: &Matrix) {
     let n = v.nrows();
     assert_eq!(q.nrows(), n, "gemm_nn_minus: row mismatch");
@@ -135,33 +569,28 @@ pub fn gemm_nn_minus(v: &mut MatViewMut<'_>, q: &MatView<'_>, r: &Matrix) {
         return;
     }
     let qdata = q.data();
-    // Parallelize over flat chunks of V's column-major storage; each chunk is
-    // processed column-segment by column-segment so that both V and Q are
-    // accessed contiguously.
-    parallel_for_chunks(v.data_mut(), |chunk, offset| {
-        let mut pos = 0usize;
-        while pos < chunk.len() {
-            let flat = offset + pos;
-            let col = flat / n;
-            let row0 = flat % n;
-            let seg = (n - row0).min(chunk.len() - pos);
-            let out = &mut chunk[pos..pos + seg];
-            for kk in 0..k {
-                let alpha = r[(kk, col)];
-                if alpha != 0.0 {
-                    let qseg = &qdata[kk * n + row0..kk * n + row0 + seg];
-                    for (o, qv) in out.iter_mut().zip(qseg) {
-                        *o -= alpha * qv;
-                    }
-                }
-            }
-            pos += seg;
+    let vcols = ColPtr(v.data_mut().as_mut_ptr());
+    parallel_for_range(n, |start, end| {
+        let mut rb = start;
+        while rb < end {
+            let re = (rb + ROW_BLOCK).min(end);
+            // SAFETY: row ranges of different workers are disjoint.
+            unsafe { update_row_block(&vcols, qdata, r, n, rb, re) };
+            rb = re;
         }
     });
 }
 
 /// `V ← V·R⁻¹` for tall-skinny `V ∈ R^{n×s}` and upper-triangular
 /// `R ∈ R^{s×s}` (the CholQR normalization TRSM).
+///
+/// Every row of `V` solves independently against `R`, so the sweep is
+/// row-parallel and makes a **single pass** over `V`: workers own disjoint
+/// row ranges and process them in `ROW_BLOCK`-row panels that stay in cache
+/// for the whole `s²/2` column recurrence (the previous implementation was
+/// a serial column sweep with `s` full passes over `V`).  The per-element
+/// operation order matches the naive sweep, so results are
+/// bitwise-identical to [`naive_trsm_right_upper`].
 ///
 /// Panics if `R` has a zero diagonal entry.
 pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
@@ -172,8 +601,190 @@ pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
     for j in 0..s {
         assert!(r[(j, j)] != 0.0, "trsm_right_upper: zero diagonal at {j}");
     }
-    // Column j of the result uses the already-updated columns 0..j:
-    //   q_j = (v_j − Σ_{i<j} q_i r_{ij}) / r_{jj}
+    if n == 0 || s == 0 {
+        return;
+    }
+    let vcols = ColPtr(v.data_mut().as_mut_ptr());
+    parallel_for_range(n, |start, end| {
+        let mut rb = start;
+        while rb < end {
+            let re = (rb + ROW_BLOCK).min(end);
+            // Column recurrence on one resident row panel:
+            //   q_j = (v_j − Σ_{i<j} q_i r_{ij}) / r_{jj}
+            for j in 0..s {
+                // SAFETY: this worker owns rows rb..re exclusively; the
+                // mutable column j and read columns i < j are disjoint.
+                let vj = unsafe { vcols.col_seg_mut(n, j, rb, re) };
+                for i in 0..j {
+                    let alpha = r[(i, j)];
+                    if alpha != 0.0 {
+                        let qi = unsafe { vcols.col_seg(n, i, rb, re) };
+                        for (o, q) in vj.iter_mut().zip(qi) {
+                            *o -= alpha * q;
+                        }
+                    }
+                }
+                let d = 1.0 / r[(j, j)];
+                for o in vj.iter_mut() {
+                    *o *= d;
+                }
+            }
+            rb = re;
+        }
+    });
+}
+
+/// Fused `V ← V − Q·P` **plus** `C = QᵀV` and `G = VᵀV` of the *updated*
+/// panel, in one pass over the tall operands.
+///
+/// This is the local compute of the two-sync BCGS reorthogonalization step
+/// (BCGS-IRO-2S): the projected panel `W = V − Q·P` is written and the
+/// inner products `[Q W]ᵀW` needed by the next Cholesky are accumulated
+/// while each row panel is still in cache, instead of re-reading `W` from
+/// memory in a separate `proj_and_gram` sweep.  Returns `(C, G)` with
+/// `C ∈ R^{k×s}`, `G ∈ R^{s×s}` (`G` symmetrized).
+pub fn fused_update_proj_gram(
+    v: &mut MatViewMut<'_>,
+    q: &MatView<'_>,
+    p: &Matrix,
+) -> (Matrix, Matrix) {
+    let n = v.nrows();
+    let s = v.ncols();
+    let k = q.ncols();
+    assert_eq!(q.nrows(), n, "fused_update_proj_gram: row mismatch");
+    assert_eq!(p.nrows(), k, "fused_update_proj_gram: inner dim mismatch");
+    assert_eq!(p.ncols(), s, "fused_update_proj_gram: col mismatch");
+    let qdata = q.data();
+    let vcols = ColPtr(v.data_mut().as_mut_ptr());
+    let vlen = n * s;
+    let buf = parallel_reduce_ranges(
+        n,
+        vec![0.0f64; k * s + s * s],
+        |start, end| {
+            let mut acc = vec![0.0f64; k * s + s * s];
+            let q_cols = SliceCols { data: qdata, n };
+            // SAFETY: `Cols::seg` below reads only rows start..end, which
+            // this worker owns exclusively, and only after the mutable
+            // segments inside `update_row_block` have been dropped — never
+            // a reference spanning rows another worker writes.
+            let v_read = unsafe { RawCols::from_ptr(vcols.0, n, vlen) };
+            let (c_acc, g_acc) = acc.split_at_mut(k * s);
+            let mut rb = start;
+            while rb < end {
+                let re = (rb + ROW_BLOCK).min(end);
+                if k > 0 {
+                    // SAFETY: row ranges of different workers are disjoint.
+                    unsafe { update_row_block(&vcols, qdata, p, n, rb, re) };
+                    tn_row_block(q_cols, v_read, rb, re, k, s, c_acc, false);
+                }
+                tn_row_block(v_read, v_read, rb, re, s, s, g_acc, true);
+                rb = re;
+            }
+            acc
+        },
+        |mut acc, partial| {
+            for (dst, src) in acc.iter_mut().zip(&partial) {
+                *dst += src;
+            }
+            acc
+        },
+    );
+    let c = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
+    let mut g = Matrix::from_col_major(s, s, buf[k * s..].to_vec());
+    for j in 0..s {
+        for i in 0..j {
+            let val = g[(i, j)];
+            g[(j, i)] = val;
+        }
+    }
+    (c, g)
+}
+
+/// Serial reference Gram matrix (the pre-blocking dot-product formulation);
+/// baseline for the `kernels` bench and oracle for the property tests.
+pub fn naive_gram(v: &MatView<'_>) -> Matrix {
+    let n = v.nrows();
+    let s = v.ncols();
+    let data = v.data();
+    let mut g = Matrix::zeros(s, s);
+    for j in 0..s {
+        let cj = &data[j * n..(j + 1) * n];
+        for i in 0..=j {
+            let ci = &data[i * n..(i + 1) * n];
+            let mut acc = 0.0;
+            for (a, b) in ci.iter().zip(cj) {
+                acc += a * b;
+            }
+            g[(i, j)] = acc;
+        }
+    }
+    for j in 0..s {
+        for i in 0..j {
+            let val = g[(i, j)];
+            g[(j, i)] = val;
+        }
+    }
+    g
+}
+
+/// Serial reference `C = AᵀB` (pre-blocking dot-product formulation).
+pub fn naive_gemm_tn(a: &MatView<'_>, b: &MatView<'_>) -> Matrix {
+    assert_eq!(a.nrows(), b.nrows(), "naive_gemm_tn: row mismatch");
+    let n = a.nrows();
+    let k = a.ncols();
+    let s = b.ncols();
+    let mut c = Matrix::zeros(k, s);
+    for j in 0..s {
+        let bj = &b.data()[j * n..(j + 1) * n];
+        for i in 0..k {
+            let ai = &a.data()[i * n..(i + 1) * n];
+            let mut acc = 0.0;
+            for (x, y) in ai.iter().zip(bj) {
+                acc += x * y;
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Serial reference `V ← V − Q·R` (column-at-a-time axpy sweep).
+pub fn naive_gemm_nn_minus(v: &mut MatViewMut<'_>, q: &MatView<'_>, r: &Matrix) {
+    let n = v.nrows();
+    assert_eq!(q.nrows(), n, "naive_gemm_nn_minus: row mismatch");
+    assert_eq!(
+        q.ncols(),
+        r.nrows(),
+        "naive_gemm_nn_minus: inner dim mismatch"
+    );
+    assert_eq!(r.ncols(), v.ncols(), "naive_gemm_nn_minus: col mismatch");
+    let k = q.ncols();
+    for j in 0..v.ncols() {
+        let vj = v.col_mut(j);
+        for kk in 0..k {
+            let alpha = r[(kk, j)];
+            if alpha != 0.0 {
+                let qk = q.col(kk);
+                for (o, x) in vj.iter_mut().zip(qk) {
+                    *o -= alpha * x;
+                }
+            }
+        }
+    }
+}
+
+/// Serial reference `V ← V·R⁻¹` (the pre-blocking serial column sweep).
+pub fn naive_trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
+    let n = v.nrows();
+    let s = v.ncols();
+    assert_eq!(r.nrows(), s, "naive_trsm_right_upper: dimension mismatch");
+    assert_eq!(r.ncols(), s, "naive_trsm_right_upper: R must be square");
+    for j in 0..s {
+        assert!(
+            r[(j, j)] != 0.0,
+            "naive_trsm_right_upper: zero diagonal at {j}"
+        );
+    }
     let data = v.data_mut();
     for j in 0..s {
         let (done, rest) = data.split_at_mut(j * n);
@@ -283,12 +894,39 @@ mod tests {
     }
 
     #[test]
+    fn gram_matches_naive_reference() {
+        for (n, s) in [(0, 3), (1, 1), (255, 4), (257, 9), (1_023, 8)] {
+            let v = test_panel(n, s);
+            let g = gram(&v.view());
+            let reference = naive_gram(&v.view());
+            assert_close(&g, &reference, 1e-10 * (n.max(1) as f64));
+        }
+    }
+
+    #[test]
     fn gemm_tn_matches_reference() {
         let a = test_panel(1_501, 4);
         let b = test_panel(1_501, 6);
         let c = gemm_tn(&a.view(), &b.view());
         let reference = gemm_reference(&a.transpose(), &b);
         assert_close(&c, &reference, 1e-9);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_on_awkward_shapes() {
+        for (n, k, s) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (255, 3, 7),
+            (258, 6, 1),
+            (1_025, 5, 5),
+        ] {
+            let a = test_panel(n, k);
+            let b = test_panel(n, s);
+            let c = gemm_tn(&a.view(), &b.view());
+            let reference = naive_gemm_tn(&a.view(), &b.view());
+            assert_close(&c, &reference, 1e-10 * (n as f64));
+        }
     }
 
     #[test]
@@ -308,6 +946,54 @@ mod tests {
         let reference = v.sub(&gemm_reference(&q, &r));
         gemm_nn_minus(&mut v.view_mut(), &q.view(), &r);
         assert_close(&v, &reference, 1e-10);
+    }
+
+    #[test]
+    fn gemm_nn_minus_is_bitwise_naive() {
+        for (n, k, s) in [(1, 1, 1), (100, 5, 4), (257, 4, 4), (511, 7, 9)] {
+            let q = test_panel(n, k);
+            let r = Matrix::from_fn(k, s, |i, j| ((i * 3 + j) % 5) as f64 * 0.2 - 0.3);
+            let mut a = test_panel(n, s);
+            let mut b = a.clone();
+            gemm_nn_minus(&mut a.view_mut(), &q.view(), &r);
+            naive_gemm_nn_minus(&mut b.view_mut(), &q.view(), &r);
+            assert_eq!(a, b, "blocked update must match naive bitwise");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_minus_skips_zero_coefficients_like_naive() {
+        // A zero R entry must *skip* its column (naive semantics): with an
+        // Inf in the skipped Q column, multiplying instead of skipping
+        // would poison V with NaNs; with -0.0 values it would flip signs.
+        let n = 600;
+        let k = 4; // full 4x4 tile path
+        let s = 4;
+        let mut q = test_panel(n, k);
+        q[(5, 2)] = f64::INFINITY;
+        q[(7, 2)] = f64::NAN;
+        let mut r = Matrix::from_fn(k, s, |i, j| (i + j + 1) as f64 * 0.25);
+        for j in 0..s {
+            r[(2, j)] = 0.0; // Q column 2 must never be touched
+        }
+        let mut v = test_panel(n, s);
+        for i in 0..n {
+            v[(i, 1)] = -0.0;
+        }
+        let mut v_ref = v.clone();
+        gemm_nn_minus(&mut v.view_mut(), &q.view(), &r);
+        naive_gemm_nn_minus(&mut v_ref.view_mut(), &q.view(), &r);
+        for j in 0..s {
+            for i in 0..n {
+                assert!(
+                    v[(i, j)].to_bits() == v_ref[(i, j)].to_bits(),
+                    "({i},{j}): {:e} vs {:e}",
+                    v[(i, j)],
+                    v_ref[(i, j)]
+                );
+            }
+        }
+        assert!(v.data().iter().all(|x| !x.is_nan()));
     }
 
     #[test]
@@ -333,11 +1019,48 @@ mod tests {
     }
 
     #[test]
+    fn trsm_is_bitwise_naive() {
+        let r = Matrix::from_fn(6, 6, |i, j| {
+            if i > j {
+                0.0
+            } else if i == j {
+                (i + 2) as f64 * 0.5
+            } else {
+                ((i + j) % 3) as f64 * 0.4 - 0.2
+            }
+        });
+        for n in [1usize, 100, 255, 257, 1_025] {
+            let mut a = test_panel(n, 6);
+            let mut b = a.clone();
+            trsm_right_upper(&mut a.view_mut(), &r);
+            naive_trsm_right_upper(&mut b.view_mut(), &r);
+            assert_eq!(a, b, "row-parallel TRSM must match naive bitwise");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "zero diagonal")]
     fn trsm_rejects_singular_r() {
         let r = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
         let mut v = test_panel(10, 2);
         trsm_right_upper(&mut v.view_mut(), &r);
+    }
+
+    #[test]
+    fn fused_update_proj_gram_matches_separate_kernels() {
+        for (n, k, s) in [(300, 3, 4), (1_027, 5, 6), (100, 0, 3), (257, 4, 1)] {
+            let q = test_panel(n, k);
+            let p = Matrix::from_fn(k, s, |i, j| (i as f64 - j as f64) * 0.15 + 0.05);
+            let mut v = test_panel(n, s);
+            let mut v_ref = v.clone();
+            let (c, g) = fused_update_proj_gram(&mut v.view_mut(), &q.view(), &p);
+            gemm_nn_minus(&mut v_ref.view_mut(), &q.view(), &p);
+            assert_eq!(v, v_ref, "fused update must equal separate update");
+            let c_ref = gemm_tn(&q.view(), &v_ref.view());
+            let g_ref = gram(&v_ref.view());
+            assert_close(&c, &c_ref, 1e-10 * (n as f64));
+            assert_close(&g, &g_ref, 1e-10 * (n as f64));
+        }
     }
 
     #[test]

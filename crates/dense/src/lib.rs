@@ -9,9 +9,12 @@
 //!   "multivector" panels `V_j ∈ R^{n×(s+1)}` the solver manipulates;
 //! * level-1 kernels (dot, nrm2, axpy, scal) in [`blas1`];
 //! * the level-3 kernels the orthogonalization needs (`Gram = VᵀV`,
-//!   `C = AᵀB`, the block vector update `V ← V − Q·R`, and the triangular
-//!   normalization `Q ← V·R⁻¹`) in [`blas3`], parallelized over row chunks
-//!   with [`parkit`];
+//!   `C = AᵀB`, the block vector update `V ← V − Q·R`, the triangular
+//!   normalization `Q ← V·R⁻¹`, and the fused update+Gram of the two-sync
+//!   schemes) in [`blas3`] — row-panel blocked, register-tiled, and
+//!   parallelized over row chunks on the [`parkit`] worker pool, with the
+//!   pre-blocking `naive_*` formulations retained as benchmark baselines
+//!   and property-test oracles;
 //! * Cholesky factorization (plain and shifted) in [`chol`];
 //! * Householder QR for tall-skinny panels in [`qr`];
 //! * a cyclic Jacobi symmetric eigensolver in [`eig`] used to measure
@@ -35,7 +38,11 @@ pub mod svd;
 pub mod tri;
 
 pub use blas1::{axpy, dot, nrm2, scal};
-pub use blas3::{gemm_nn, gemm_nn_minus, gemm_small, gemm_tn, gemv_plus, gram, trsm_right_upper};
+pub use blas3::{
+    fused_update_proj_gram, gemm_nn, gemm_nn_minus, gemm_small, gemm_tn, gemv_plus, gram,
+    naive_gemm_nn_minus, naive_gemm_tn, naive_gram, naive_trsm_right_upper, trsm_right_upper,
+    ROW_BLOCK, TILE,
+};
 pub use chol::{cholesky_upper, shifted_cholesky_upper, CholeskyError};
 pub use eig::{sym_eig_jacobi, sym_eigvals};
 pub use lsq::{givens_rotation, hessenberg_lsq, qr_lsq};

@@ -3,11 +3,16 @@
 //! Each rank owns a contiguous block of rows of a global `n × c` matrix,
 //! stored as a local column-major [`dense::Matrix`].  The fused kernels the
 //! block orthogonalization schemes call are implemented here, each
-//! documenting its global-reduction count — [`proj_and_gram`] in particular
-//! is *the* single-reduce fusion (projection coefficients and Gram matrix in
-//! one all-reduce) that BCGS-PIP and the two-stage scheme are built on.
+//! documenting its global-reduction count — [`proj_and_gram`] is *the*
+//! single-reduce fusion (projection coefficients and Gram matrix in one
+//! all-reduce) that BCGS-PIP and the two-stage scheme are built on, and
+//! [`update_and_gram`] is its dual for the second synchronization of the
+//! two-sync reorthogonalization schemes (vector update fused with the next
+//! panel's inner products, still one all-reduce and one pass over the
+//! panel).
 //!
 //! [`proj_and_gram`]: DistMultiVector::proj_and_gram
+//! [`update_and_gram`]: DistMultiVector::update_and_gram
 
 use crate::comm::Communicator;
 use dense::{MatView, Matrix};
@@ -166,6 +171,46 @@ impl DistMultiVector {
         dense::gemm_nn_minus(&mut v, &q, p);
     }
 
+    /// Fused BCGS update **and** re-projection inner products: applies
+    /// `W = V_new − Q_prev·P` in place and returns
+    /// `(C, G) = (Q_prevᵀ·W, Wᵀ·W)` with a **single global reduce** of
+    /// `k·s + s²` words.
+    ///
+    /// This is the dual of [`proj_and_gram`]: where that kernel fuses the
+    /// two inner products *before* an update, this one fuses the update
+    /// with the inner products the *next* Cholesky needs, so the two-sync
+    /// reorthogonalization schemes (BCGS-IRO-2S / BCGS-PIP2, and the
+    /// two-stage scheme's shifted second-stage path) touch each row of the
+    /// panel once per synchronization instead of twice.  Locally the pass
+    /// is [`dense::fused_update_proj_gram`].
+    ///
+    /// With an empty `prev` the update is a no-op and `C` is `0×s`; the
+    /// call degenerates to [`gram`] (still one reduce, of `s²` words).
+    ///
+    /// [`proj_and_gram`]: Self::proj_and_gram
+    /// [`gram`]: Self::gram
+    pub fn update_and_gram(
+        &mut self,
+        prev: Range<usize>,
+        new: Range<usize>,
+        p: &Matrix,
+    ) -> (Matrix, Matrix) {
+        assert!(prev.end <= new.start, "prev must precede new");
+        let k = prev.end - prev.start;
+        let s = new.end - new.start;
+        let (head, mut tail) = self.local.split_at_col(new.start);
+        let q = head.cols(prev);
+        let mut v = tail.cols_mut(0..s);
+        let (c_local, g_local) = dense::fused_update_proj_gram(&mut v, &q, p);
+        let mut buf = Vec::with_capacity(k * s + s * s);
+        buf.extend_from_slice(c_local.data());
+        buf.extend_from_slice(g_local.data());
+        self.comm.allreduce_sum(&mut buf);
+        let c = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
+        let g = Matrix::from_col_major(s, s, buf[k * s..].to_vec());
+        (c, g)
+    }
+
     /// Triangular normalization `V ← V·R⁻¹` of the columns `cols` (local,
     /// no communication).
     pub fn scale_right(&mut self, cols: Range<usize>, r: &Matrix) {
@@ -284,6 +329,93 @@ mod tests {
         let _ = mv.proj(0..2, 2..5);
         let _ = mv.gram(2..5);
         assert_eq!(mv.comm().stats().snapshot().since(&before).allreduces, 2);
+    }
+
+    #[test]
+    fn update_and_gram_is_one_reduce_and_matches_separate_kernels() {
+        let v = test_matrix(300, 8);
+        let p_seed = {
+            let mv = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+            mv.proj(0..3, 3..7)
+        };
+        // Fused path: exactly one allreduce of k·s + s² words.
+        let mut fused = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let before = fused.comm().stats().snapshot();
+        let (c, g) = fused.update_and_gram(0..3, 3..7, &p_seed);
+        let delta = fused.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 1, "update_and_gram must be one reduce");
+        assert_eq!(delta.allreduce_words, 3 * 4 + 4 * 4);
+        // Separate path: update (0 reduces) + proj + gram (2 reduces).
+        let mut sep = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let before = sep.comm().stats().snapshot();
+        sep.update(0..3, 3..7, &p_seed);
+        let c_ref = sep.proj(0..3, 3..7);
+        let g_ref = sep.gram(3..7);
+        let delta = sep.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 2, "separate path costs two reduces");
+        // Same updated panel, same inner products (to rounding: the fused
+        // accumulation is row-blocked).
+        assert_eq!(fused.local(), sep.local(), "updated panels must agree");
+        for j in 0..4 {
+            for i in 0..3 {
+                assert!((c[(i, j)] - c_ref[(i, j)]).abs() < 1e-12 * c_ref.max_abs().max(1.0));
+            }
+            for i in 0..4 {
+                assert!((g[(i, j)] - g_ref[(i, j)]).abs() < 1e-12 * g_ref.max_abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn update_and_gram_with_empty_prev_is_gram() {
+        let v = test_matrix(150, 5);
+        let mut mv = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let before = mv.comm().stats().snapshot();
+        let (c, g) = mv.update_and_gram(0..0, 0..5, &Matrix::zeros(0, 5));
+        assert_eq!(mv.comm().stats().snapshot().since(&before).allreduces, 1);
+        assert_eq!(c.nrows(), 0);
+        assert_eq!(c.ncols(), 5);
+        let g_ref = mv.gram(0..5);
+        for j in 0..5 {
+            for i in 0..5 {
+                assert!((g[(i, j)] - g_ref[(i, j)]).abs() < 1e-12 * g_ref.max_abs());
+            }
+        }
+        assert_eq!(mv.local(), &v, "empty-prev update must not modify V");
+    }
+
+    #[test]
+    fn update_and_gram_matches_across_rank_counts() {
+        let n = 203; // deliberately not divisible by the rank count
+        let v = test_matrix(n, 7);
+        let mut serial = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let p = serial.proj(0..3, 3..7);
+        let (c_ref, g_ref) = serial.update_and_gram(0..3, 3..7, &p);
+        for nranks in [2usize, 3, 4] {
+            let results = run_ranks(nranks, |comm| {
+                let mut mv = DistMultiVector::from_matrix(comm, v.clone());
+                let before = mv.comm().stats().snapshot();
+                let (c, g) = mv.update_and_gram(0..3, 3..7, &p);
+                let reduces = mv.comm().stats().snapshot().since(&before).allreduces;
+                (c, g, reduces, mv.gather_global())
+            });
+            for (c, g, reduces, full) in &results {
+                assert_eq!(*reduces, 1, "one reduce on every rank count");
+                for j in 0..4 {
+                    for i in 0..3 {
+                        assert!((c[(i, j)] - c_ref[(i, j)]).abs() < 1e-10 * c_ref.max_abs());
+                    }
+                    for i in 0..4 {
+                        assert!((g[(i, j)] - g_ref[(i, j)]).abs() < 1e-10 * g_ref.max_abs());
+                    }
+                }
+                for j in 0..7 {
+                    for i in 0..n {
+                        assert!((full[(i, j)] - serial.local()[(i, j)]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

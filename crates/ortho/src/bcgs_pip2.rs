@@ -6,6 +6,15 @@
 //! twice (BCGS-PIP2) restores `O(ε)` orthogonality under condition (5) and
 //! still needs only **2 reduces per panel**, compared with 5 for BCGS2 with
 //! CholQR2.
+//!
+//! [`BcgsPip2`] is implemented through the fused two-sync kernel
+//! [`crate::kernels::bcgs_pip2_fused`] (the BCGS-IRO-2S idea from Carson et
+//! al.'s BlockStab, with first-pass normalization retained for its
+//! `O(ε)`-orthogonality guarantees): the second synchronization's vector
+//! update is fused with the reorthogonalization inner products
+//! (`[Q_prev W]ᵀW`) in one pass over the panel via
+//! [`DistMultiVector::update_and_gram`].  Same 2 reduces as the textbook
+//! double-PIP formulation, but 5 passes over the tall panel instead of 6.
 
 use crate::error::OrthoError;
 use crate::kernels::bcgs_pip;
@@ -45,9 +54,13 @@ impl BlockOrthogonalizer for BcgsPip {
     }
 }
 
-/// BCGS-PIP applied twice (Fig. 4b), with the exact R-factor update
-/// `R_{prev,new} ← T_{prev,new}·R_{new,new} + R_{prev,new}`,
-/// `R_{new,new} ← T_{new,new}·R_{new,new}`.
+/// Reorthogonalized BCGS with **2 reduces per panel** (Fig. 4b), computed
+/// through the fused two-sync kernel [`crate::kernels::bcgs_pip2_fused`]:
+/// the second projection and Gram matrix are collected *during* the vector
+/// update's pass over the panel ([`DistMultiVector::update_and_gram`]), so
+/// a panel costs 5 sweeps of the tall operand instead of the 6 two
+/// back-to-back BCGS-PIP calls took.  On the first panel of a cycle it
+/// degenerates to CholQR2 exactly as the paper notes.
 #[derive(Debug, Default)]
 pub struct BcgsPip2;
 
@@ -70,13 +83,14 @@ impl BlockOrthogonalizer for BcgsPip2 {
         r: &mut Matrix,
     ) -> Result<(), OrthoError> {
         let prev = 0..new.start;
-        // First pass.
-        let (p1, r1) = bcgs_pip(basis, prev.clone(), new.clone())?;
-        // Second pass (reorthogonalization).
-        let (p2, t1) = bcgs_pip(basis, prev.clone(), new.clone())?;
-        // R updates (Fig. 4b lines 5-6).
-        let r_prev = p2_times_r_plus_p1(&p2, &r1, &p1);
-        let r_new = dense::tri_matmul_upper(&t1, &r1);
+        let (r_prev, r_new) = crate::kernels::bcgs_pip2_fused(
+            basis,
+            prev.clone(),
+            new.clone(),
+            false,
+            "BCGS-PIP2 (first pass)",
+            "BCGS-PIP2 (reorthogonalization)",
+        )?;
         write_block(r, prev.start, new, &r_prev, &r_new);
         Ok(())
     }

@@ -1,9 +1,25 @@
 //! Low-level orthogonalization kernels on a distributed Krylov basis.
 //!
-//! Every kernel documents its global-synchronization count — the quantity
-//! the paper's performance analysis is built on.  All kernels operate in
-//! place on column ranges of a [`DistMultiVector`] and return the small
-//! replicated factors.
+//! Every kernel documents its **global-synchronization count** (the
+//! quantity the paper's performance analysis is built on) and its **pass
+//! count** — how many times the tall `n×s` panel is swept through memory,
+//! the second axis the blocked/fused `dense` kernels optimize.  For
+//! reference (a "pass" is one read or read+write sweep of the panel;
+//! `prev`-block reads are accounted inside their kernels):
+//!
+//! | kernel | reduces | panel passes |
+//! |---|---|---|
+//! | [`cholqr`] | 1 | 2 (Gram read + TRSM) |
+//! | [`cholqr2`] | 2 | 4 |
+//! | [`shifted_cholqr`] | 1 | 2 |
+//! | [`mixed_precision_cholqr`] | 1 | 2 |
+//! | [`bcgs`] | 1 | 2 (proj read + update) |
+//! | [`bcgs_pip`] | 1 | 3 (fused proj+Gram read, update, TRSM) |
+//! | [`bcgs_pip2_fused`] | 2 | 5 (vs 6 for two `bcgs_pip` calls) |
+//! | [`columnwise_cgs2`] | 3·s | O(s) column sweeps |
+//!
+//! All kernels operate in place on column ranges of a [`DistMultiVector`]
+//! and return the small replicated factors.
 
 use crate::error::OrthoError;
 use dense::Matrix;
@@ -103,7 +119,8 @@ pub fn bcgs(basis: &mut DistMultiVector, prev: Range<usize>, new: Range<usize>) 
 /// BCGS with the Pythagorean inner product (BCGS-PIP, Fig. 4a): project the
 /// panel against `prev`, form the Gram matrix of the projected panel via the
 /// Pythagorean identity `G_proj = VᵀV − (Q_prevᵀV)ᵀ(Q_prevᵀV)`, factorize,
-/// and normalize — all with a **single global reduce**.
+/// and normalize — all with a **single global reduce** and **3 passes**
+/// over the panel (the fused `proj_and_gram` read, the update, the TRSM).
 ///
 /// Returns `(R_prev_new, R_new_new)`.
 pub fn bcgs_pip(
@@ -122,6 +139,73 @@ pub fn bcgs_pip(
     basis.update(prev, new.clone(), &p);
     basis.scale_right(new, &r_new);
     Ok((p, r_new))
+}
+
+/// Fused reorthogonalized BCGS-PIP (the two-sync BCGS-IRO-2S shape with
+/// first-pass normalization): orthogonalize the panel `new` against `prev`
+/// twice with **2 global reduces** and **5 passes** over the `n×s` panel
+/// (down from 6 for two back-to-back [`bcgs_pip`] calls):
+///
+/// 1. reduce 1: `(P1, G1) = [Q V]ᵀV` ([`DistMultiVector::proj_and_gram`],
+///    1 read pass);
+/// 2. local: `R1 = chol(G1 − P1ᵀP1)` (shifted Cholesky when `shifted` is
+///    set, so any numerically full-rank panel succeeds), then normalize
+///    `V ← V·R1⁻¹` (1 pass) — the pass-1 projection is folded into the
+///    small factor `P1·R1⁻¹` instead of its own panel sweep;
+/// 3. reduce 2: `W = V − Q·(P1·R1⁻¹)` fused with `Y = QᵀW`, `G₂ = WᵀW`
+///    ([`DistMultiVector::update_and_gram`], 1 pass);
+/// 4. local: `R2 = chol(G₂ − YᵀY)`, then `Q_new = (W − Q·Y)·R2⁻¹`
+///    (2 passes).
+///
+/// Returns `(T_prev, T_new)` with `V = Q_prev·T_prev + Q_new·T_new`, i.e.
+/// `T_prev = P1 + Y·R1` and `T_new = R2·R1`.  With an empty `prev` the
+/// sequence degenerates to CholQR2 (same kernel ops, same values).
+/// `first_context`/`second_context` label the two Cholesky breakdown sites
+/// in errors.
+pub fn bcgs_pip2_fused(
+    basis: &mut DistMultiVector,
+    prev: Range<usize>,
+    new: Range<usize>,
+    shifted: bool,
+    first_context: &'static str,
+    second_context: &'static str,
+) -> Result<(Matrix, Matrix), OrthoError> {
+    // Reduce 1: projection and Gram of the raw panel.
+    let (p1, g1) = basis.proj_and_gram(prev.clone(), new.clone());
+    let correction = dense::gemm_nn(&p1.transpose(), &p1);
+    let g_proj = g1.sub(&correction);
+    let r1 = if shifted {
+        dense::shifted_cholesky_upper(&g_proj, basis.global_rows())
+            .map(|(r, _shift)| r)
+            .map_err(|e| OrthoError::CholeskyBreakdown {
+                context: first_context,
+                pivot: e.pivot,
+            })?
+    } else {
+        dense::cholesky_upper(&g_proj).map_err(|e| OrthoError::CholeskyBreakdown {
+            context: first_context,
+            pivot: e.pivot,
+        })?
+    };
+    // Normalize first, so the fused update below works on the
+    // well-conditioned panel: W = V·R1⁻¹ − Q·(P1·R1⁻¹) = (V − Q·P1)·R1⁻¹.
+    basis.scale_right(new.clone(), &r1);
+    let mut p1s = p1.clone();
+    dense::naive_trsm_right_upper(&mut p1s.view_mut(), &r1);
+    // Reduce 2: update fused with the reorthogonalization inner products.
+    let (y, gw) = basis.update_and_gram(prev.clone(), new.clone(), &p1s);
+    let corr2 = dense::gemm_nn(&y.transpose(), &y);
+    let g2 = gw.sub(&corr2);
+    let r2 = dense::cholesky_upper(&g2).map_err(|e| OrthoError::CholeskyBreakdown {
+        context: second_context,
+        pivot: e.pivot,
+    })?;
+    basis.update(prev.clone(), new.clone(), &y);
+    basis.scale_right(new, &r2);
+    // Compose: V = Q_prev·(P1 + Y·R1) + Q_new·(R2·R1).
+    let t_prev = dense::gemm_nn(&y, &r1).add(&p1);
+    let t_new = dense::tri_matmul_upper(&r2, &r1);
+    Ok((t_prev, t_new))
 }
 
 /// Column-wise classical Gram–Schmidt with reorthogonalization (CGS2),

@@ -13,7 +13,11 @@
 //! the fully orthogonalized prefix, followed by the R-factor update of
 //! Fig. 5 lines 18–19.  **1 additional global reduce per `bs` columns**, and
 //! all its local BLAS-3 work runs on blocks of `bs` columns instead of `s`,
-//! which is where the data-reuse gain comes from.
+//! which is where the data-reuse gain comes from.  When the big panel
+//! violates condition (9) the stage falls back to [`shifted_bcgs_pip2`],
+//! whose re-orthogonalization fuses the vector update with the next inner
+//! products ([`DistMultiVector::update_and_gram`]) — 2 reduces and one
+//! fewer pass over the `n×bs` panel than the unfused remedy.
 //!
 //! With `bs = s` the scheme degenerates to one-stage BCGS-PIP2; with
 //! `bs = m` it reaches the paper's best configuration.
@@ -124,41 +128,30 @@ impl TwoStage {
 }
 
 /// Shifted BCGS-PIP2, used when a plain BCGS-PIP on a panel (first stage)
-/// or big panel (second stage) breaks down: one pass built on the shifted
-/// Cholesky factorization (which succeeds for any numerically full-rank
-/// panel), followed by a plain BCGS-PIP re-orthogonalization pass, with the
-/// two sets of factors composed so the caller still sees a single
-/// `(T_prev, T_bp)` pair with `Q̂ = Q_prev·T_prev + Q_new·T_bp`.
+/// or big panel (second stage) breaks down: a first pass built on the
+/// shifted Cholesky factorization (which succeeds for any numerically
+/// full-rank panel), then a re-orthogonalization whose vector update and
+/// inner products are fused into one pass over the panel with
+/// [`DistMultiVector::update_and_gram`].  The factor sets are composed so
+/// the caller still sees a single `(T_prev, T_bp)` pair with
+/// `Q̂ = Q_prev·T_prev + Q_new·T_bp`.
+///
+/// **2 global reduces**, 5 passes over the `n×bs` panel (the unfused
+/// formulation took 6: separate update, normalization and `proj_and_gram`
+/// sweeps in the second pass).
 fn shifted_bcgs_pip2(
     basis: &mut DistMultiVector,
     prev: Range<usize>,
     bp: Range<usize>,
 ) -> Result<(Matrix, Matrix), OrthoError> {
-    // First (shifted) pass.
-    let (p1, g1) = basis.proj_and_gram(prev.clone(), bp.clone());
-    let correction = dense::gemm_nn(&p1.transpose(), &p1);
-    let g_proj = g1.sub(&correction);
-    let (r1, _shift) =
-        dense::shifted_cholesky_upper(&g_proj, basis.global_rows()).map_err(|e| {
-            OrthoError::CholeskyBreakdown {
-                context: "two-stage second stage (shifted fallback)",
-                pivot: e.pivot,
-            }
-        })?;
-    basis.update(prev.clone(), bp.clone(), &p1);
-    basis.scale_right(bp.clone(), &r1);
-    // Re-orthogonalization pass (now well conditioned).
-    let (p2, r2) = bcgs_pip(basis, prev.clone(), bp.clone()).map_err(|e| match e {
-        OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
-            context: "two-stage second stage (reorthogonalization)",
-            pivot,
-        },
-        other => other,
-    })?;
-    // Compose: Q̂ = Q_prev·(P1 + P2·R1) + Q_new·(R2·R1).
-    let t_prev = dense::gemm_nn(&p2, &r1).add(&p1);
-    let t_bp = dense::gemm_nn(&r2, &r1);
-    Ok((t_prev, t_bp))
+    crate::kernels::bcgs_pip2_fused(
+        basis,
+        prev,
+        bp,
+        true,
+        "two-stage second stage (shifted fallback)",
+        "two-stage second stage (reorthogonalization)",
+    )
 }
 
 /// Copy the sub-block `R[rows, cols]` into an owned matrix.
@@ -403,6 +396,37 @@ mod tests {
             .unwrap();
         scheme.finish(&mut basis, &mut r).unwrap();
         assert!(orthogonality_error(&basis.local().cols(0..8)) < 1e-12);
+    }
+
+    #[test]
+    fn shifted_fallback_uses_two_reduces_and_composes_factors() {
+        // The second stage's robust path: orthogonalize a prefix, then run
+        // the shifted+fused re-orthogonalization on a trailing block and
+        // check reduce count, orthogonality, and the factor composition
+        // Q̂ = Q_prev·T_prev + Q_bp·T_bp.
+        let v = test_matrix(400, 10);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r0 = Matrix::zeros(10, 10);
+        let mut pre = crate::bcgs_pip2::BcgsPip2::new();
+        pre.orthogonalize_panel(&mut basis, 0..4, &mut r0).unwrap();
+        let stored = basis.local().clone(); // columns 4..10 still raw
+        let before = basis.comm().stats().snapshot();
+        let (t_prev, t_bp) = shifted_bcgs_pip2(&mut basis, 0..4, 4..10).unwrap();
+        let delta = basis.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 2, "shifted fallback must stay 2 reduces");
+        assert!(dense::orthogonality_error(&basis.local().cols(0..10)) < 1e-12);
+        // Composition reproduces the pre-fallback stored columns.
+        let q_prev = basis.local().cols_owned(0..4);
+        let q_bp = basis.local().cols_owned(4..10);
+        let reproduced = dense::gemm_nn(&q_prev, &t_prev).add(&dense::gemm_nn(&q_bp, &t_bp));
+        for j in 0..6 {
+            for i in 0..400 {
+                assert!(
+                    (reproduced[(i, j)] - stored[(i, 4 + j)]).abs() < 1e-9 * v.max_abs(),
+                    "column {j} row {i} not reproduced"
+                );
+            }
+        }
     }
 
     #[test]

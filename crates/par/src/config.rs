@@ -53,6 +53,18 @@ pub fn num_threads_for(len: usize) -> usize {
     by_grain.min(max_threads()).max(1)
 }
 
+/// Serializes tests (across this crate's modules) that mutate the
+/// process-global thread-count override, so the parallel test harness
+/// cannot interleave one test's `set_num_threads` with another's asserts.
+#[cfg(test)]
+pub(crate) fn test_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("thread-count test lock poisoned")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +76,7 @@ mod tests {
 
     #[test]
     fn override_is_respected_and_resettable() {
+        let _guard = test_override_lock();
         set_num_threads(3);
         assert_eq!(max_threads(), 3);
         set_num_threads(0);
@@ -79,6 +92,7 @@ mod tests {
 
     #[test]
     fn large_problems_use_multiple_threads_when_available() {
+        let _guard = test_override_lock();
         set_num_threads(8);
         assert_eq!(num_threads_for(1 << 20), 8);
         assert_eq!(num_threads_for(2048), 2);

@@ -10,18 +10,22 @@
 //!
 //! Design points (following the HPC-Rust guidance used for this project):
 //!
-//! * **No global thread pool.**  Threads are spawned per parallel region
-//!   with `std::thread::scope`, which keeps the crate dependency-free and
-//!   makes the parallel regions easy to reason about.  For the tall-skinny
-//!   matrix kernels in this workspace the region bodies are large (hundreds
-//!   of thousands of rows), so spawn overhead is negligible.
+//! * **Persistent worker pool.**  Workers are spawned once (lazily, on the
+//!   first parallel call) and parallel regions are dispatched to them with
+//!   a generation-counted barrier protocol (see the `pool` module) — inside
+//!   the GMRES inner loop a kernel launch costs a condvar wake instead of
+//!   an OS thread spawn.  Nested or concurrent submissions (e.g. from
+//!   simulated `distsim` ranks) transparently fall back to scoped spawns,
+//!   so any thread may open a parallel region at any time.
 //! * **Deterministic chunking.**  A given `(len, nthreads)` pair always
-//!   produces the same chunk boundaries, so parallel reductions sum the
-//!   same partial results in the same order and runs are reproducible.
-//! * **Configurable thread count.**  The number of worker threads defaults
-//!   to the available parallelism and can be overridden with the
-//!   `TWOSTAGE_NUM_THREADS` environment variable or programmatically via
-//!   [`set_num_threads`].
+//!   produces the same chunk boundaries, and reductions combine per-chunk
+//!   partials in chunk order, so results do not depend on which pool lane
+//!   ran which chunk and runs are reproducible.
+//! * **Configurable thread count.**  The number of chunks a region is split
+//!   into defaults to the available parallelism and can be overridden with
+//!   the `TWOSTAGE_NUM_THREADS` environment variable or programmatically
+//!   via [`set_num_threads`]; the pool itself is sized once at first use
+//!   ([`pool_lanes`] reports it).
 //!
 //! ```
 //! use parkit::{parallel_for_chunks, parallel_map_reduce};
@@ -39,6 +43,7 @@
 mod chunk;
 mod config;
 mod parallel;
+mod pool;
 mod reduce;
 
 pub use chunk::{chunk_ranges, ChunkRange};
@@ -47,7 +52,10 @@ pub use parallel::{
     parallel_for_chunks, parallel_for_chunks_with, parallel_for_range, parallel_join,
     parallel_zip_chunks,
 };
-pub use reduce::{parallel_map_reduce, parallel_reduce_chunks, parallel_sum};
+pub use pool::pool_lanes;
+pub use reduce::{
+    parallel_map_reduce, parallel_reduce_chunks, parallel_reduce_ranges, parallel_sum,
+};
 
 #[cfg(test)]
 mod tests {

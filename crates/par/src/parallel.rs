@@ -1,7 +1,14 @@
 //! Parallel `for` loops over mutable slices and index ranges.
+//!
+//! All loops dispatch through the persistent worker pool in
+//! [`crate::pool`]: the data is split with the deterministic
+//! [`crate::chunk_ranges`] and each chunk index is claimed by one pool lane.
+//! Which *thread* runs a chunk is dynamic; *what* a chunk computes is fixed
+//! by its index, so results are independent of scheduling.
 
 use crate::chunk::chunk_ranges;
 use crate::config::num_threads_for;
+use crate::pool::{run_chunks, SendPtr};
 
 /// Run `body(chunk, offset)` over contiguous chunks of `data` in parallel.
 ///
@@ -21,22 +28,17 @@ where
         return;
     }
     let ranges = chunk_ranges(len, nthreads);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0usize;
-        let body = &body;
-        for range in &ranges {
-            let (head, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let offset = consumed;
-            consumed += range.len();
-            scope.spawn(move || body(head, offset));
-        }
+    let base = SendPtr(data.as_mut_ptr());
+    run_chunks(ranges.len(), &|i| {
+        let r = ranges[i];
+        // SAFETY: chunk ranges are disjoint and within `data`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        body(chunk, r.start);
     });
 }
 
-/// Like [`parallel_for_chunks`] but each worker first builds per-thread
-/// state with `init()` and passes it to every call of its `body`.
+/// Like [`parallel_for_chunks`] but each worker first builds per-chunk
+/// state with `init()` and passes it to its `body`.
 ///
 /// This is the idiom for kernels that need scratch buffers (e.g. a local
 /// Gram-matrix accumulator) without allocating inside the hot loop.
@@ -55,21 +57,13 @@ where
         return;
     }
     let ranges = chunk_ranges(len, nthreads);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0usize;
-        let body = &body;
-        let init = &init;
-        for range in &ranges {
-            let (head, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let offset = consumed;
-            consumed += range.len();
-            scope.spawn(move || {
-                let mut state = init();
-                body(&mut state, head, offset);
-            });
-        }
+    let base = SendPtr(data.as_mut_ptr());
+    run_chunks(ranges.len(), &|i| {
+        let r = ranges[i];
+        // SAFETY: chunk ranges are disjoint and within `data`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        let mut state = init();
+        body(&mut state, chunk, r.start);
     });
 }
 
@@ -90,11 +84,9 @@ where
         return;
     }
     let ranges = chunk_ranges(len, nthreads);
-    std::thread::scope(|scope| {
-        let body = &body;
-        for range in ranges {
-            scope.spawn(move || body(range.start, range.end));
-        }
+    run_chunks(ranges.len(), &|i| {
+        let r = ranges[i];
+        body(r.start, r.end);
     });
 }
 
@@ -136,18 +128,12 @@ where
         return;
     }
     let ranges = chunk_ranges(len, nthreads);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut consumed = 0usize;
-        let body = &body;
-        for range in &ranges {
-            let (head, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let offset = consumed;
-            consumed += range.len();
-            let in_chunk = &input[range.start..range.end];
-            scope.spawn(move || body(head, in_chunk, offset));
-        }
+    let base = SendPtr(out.as_mut_ptr());
+    run_chunks(ranges.len(), &|i| {
+        let r = ranges[i];
+        // SAFETY: chunk ranges are disjoint and within `out`.
+        let out_chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        body(out_chunk, &input[r.start..r.end], r.start);
     });
 }
 
@@ -236,5 +222,29 @@ mod tests {
     fn zip_chunks_rejects_mismatched_lengths() {
         let mut out = vec![0.0f64; 3];
         parallel_zip_chunks(&mut out, &[1.0f64, 2.0], |_, _, _| {});
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        // A body that itself opens a parallel region must not deadlock: the
+        // inner submission falls back to scoped spawns.
+        let _guard = crate::config::test_override_lock();
+        crate::set_num_threads(4);
+        let mut outer = vec![0.0f64; 8192];
+        parallel_for_chunks(&mut outer, |chunk, offset| {
+            let mut inner = vec![0usize; 4096];
+            parallel_for_chunks(&mut inner, |c, o| {
+                for (i, x) in c.iter_mut().enumerate() {
+                    *x = o + i;
+                }
+            });
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as f64 + inner[0] as f64;
+            }
+        });
+        crate::set_num_threads(0);
+        for (i, &x) in outer.iter().enumerate() {
+            assert_eq!(x, i as f64);
+        }
     }
 }

@@ -1,0 +1,355 @@
+//! The persistent worker pool behind every parallel region.
+//!
+//! Workers are spawned once (lazily, on the first parallel call) and then
+//! dispatched to with a generation-counted barrier protocol instead of the
+//! per-region `std::thread::scope` spawns the crate started with — inside
+//! the GMRES inner loop a kernel launch costs a condvar wake instead of an
+//! OS thread creation.
+//!
+//! Dispatch protocol (one "job" = one parallel region of `nchunks` chunks):
+//!
+//! 1. The submitter serializes on [`Pool::submit`], publishes the job
+//!    (type-erased closure pointer + chunk count), resets the shared chunk
+//!    counter, bumps the generation under [`Pool::generation`] and wakes
+//!    every worker.
+//! 2. Workers and the submitting thread claim chunk indices from one atomic
+//!    counter until all chunks are taken, then each worker *acknowledges*
+//!    the generation by decrementing [`Pool::remaining`].
+//! 3. The submitter returns only after every worker has acknowledged, so
+//!    the borrowed closure can never be observed after the region ends —
+//!    that hand-shake is what makes the lifetime-erasing pointer sound.
+//!
+//! Chunk *identity* (which slice range a chunk index covers) is fixed by
+//! the caller before dispatch, so dynamic claiming changes which thread
+//! runs a chunk but never what the chunk computes; reductions stay
+//! deterministic because partial results are combined in chunk order by
+//! the caller.
+//!
+//! If the pool is busy (a second thread — e.g. a simulated `distsim` rank —
+//! submits while a region is in flight) or a region is re-entered from
+//! inside a pooled worker, submission falls back to the original scoped
+//! spawn path, which is always safe.
+//!
+//! Known tradeoff: every job wakes the *whole* pool and waits for every
+//! worker's acknowledgement, so launch latency grows with pool width even
+//! for two-chunk regions.  The full-ack barrier is what makes job-slot
+//! reuse and the borrowed-closure lifetime sound without per-generation
+//! ticket bookkeeping; idle workers acknowledge in nanoseconds, tiny
+//! inputs never reach the pool (see `num_threads_for`'s serial grain), and
+//! the cost replaced is a full `thread::spawn` per region.  Revisit with a
+//! generation-tagged participation ticket if profiles ever show the
+//! broadcast dominating on very wide machines.
+
+use crate::config::max_threads;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Minimum number of execution lanes (workers + submitter) the pool is
+/// created with, so raising `TWOSTAGE_NUM_THREADS` after startup still
+/// finds live workers.
+const MIN_LANES: usize = 8;
+
+/// The job slot holds a type-erased borrowed parallel-region body.  The
+/// `'static` in the stored pointer type is a lie told only for storage; the
+/// submit/acknowledge hand-shake guarantees the pointee outlives every
+/// dereference.
+struct JobSlot {
+    func: UnsafeCell<Option<*const (dyn Fn(usize) + Sync + 'static)>>,
+    nchunks: UnsafeCell<usize>,
+}
+
+// SAFETY: the slot is only written by the unique submitter (holder of
+// `Pool::submit`) while no worker is between generation-observe and
+// acknowledge, and only read by workers after observing the generation
+// bump that the write happens-before (both under `Pool::generation`).
+unsafe impl Sync for JobSlot {}
+
+struct Pool {
+    /// Number of spawned worker threads (excluding submitters).  Written
+    /// once during pool construction, before the pool is published.
+    workers: AtomicUsize,
+    /// Job generation; bumped once per dispatched region.
+    generation: Mutex<u64>,
+    /// Workers park here between jobs.
+    work_ready: Condvar,
+    /// The published job.
+    slot: JobSlot,
+    /// Next chunk index to claim (shared by workers and the submitter).
+    next: AtomicUsize,
+    /// Workers that have not yet acknowledged the current generation.
+    remaining: AtomicUsize,
+    /// Set when a worker caught a panic from the region body.
+    panicked: AtomicBool,
+    /// Submitter-side completion parking.
+    done_lock: Mutex<()>,
+    done: Condvar,
+    /// Serializes job submission; `try_lock` failure routes concurrent
+    /// submitters to the scoped fallback.
+    submit: Mutex<()>,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let lanes = max_threads()
+            .max(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(MIN_LANES);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            workers: AtomicUsize::new(0),
+            generation: Mutex::new(0),
+            work_ready: Condvar::new(),
+            slot: JobSlot {
+                func: UnsafeCell::new(None),
+                nchunks: UnsafeCell::new(0),
+            },
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+            submit: Mutex::new(()),
+        }));
+        let mut spawned = 0;
+        for w in 0..lanes.saturating_sub(1) {
+            let ok = std::thread::Builder::new()
+                .name(format!("parkit-worker-{w}"))
+                .spawn(move || worker_loop(pool))
+                .is_ok();
+            if !ok {
+                break; // run with however many workers we got
+            }
+            spawned += 1;
+        }
+        // Written once before `get_or_init` publishes the pool; submitters
+        // observe it through the OnceLock's release/acquire pair.
+        pool.workers.store(spawned, Ordering::Release);
+        pool
+    })
+}
+
+/// Total execution lanes the pool dispatches to (workers + the submitting
+/// thread).  This is the upper bound on simultaneously running chunks of a
+/// single region.
+pub fn pool_lanes() -> usize {
+    pool().workers.load(Ordering::Relaxed) + 1
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut generation = pool.generation.lock().expect("pool generation poisoned");
+            while *generation == seen {
+                generation = pool
+                    .work_ready
+                    .wait(generation)
+                    .expect("pool generation poisoned");
+            }
+            seen = *generation;
+        }
+        // SAFETY: the job was published before the generation bump we just
+        // observed under the same mutex, and cannot be replaced until this
+        // worker acknowledges below.
+        let (func, nchunks) = unsafe {
+            (
+                (*pool.slot.func.get()).expect("pool job missing"),
+                *pool.slot.nchunks.get(),
+            )
+        };
+        let body = unsafe { &*func };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            let i = pool.next.fetch_add(1, Ordering::Relaxed);
+            if i >= nchunks {
+                break;
+            }
+            body(i);
+        }));
+        if outcome.is_err() {
+            pool.panicked.store(true, Ordering::Relaxed);
+        }
+        if pool.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = pool.done_lock.lock().expect("pool done lock poisoned");
+            pool.done.notify_one();
+        }
+    }
+}
+
+/// Scoped-spawn fallback used when the pool is busy (nested or concurrent
+/// submission) — the original per-region implementation.
+fn run_scoped(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    std::thread::scope(|scope| {
+        for i in 1..nchunks {
+            scope.spawn(move || body(i));
+        }
+        body(0);
+    });
+}
+
+/// Execute `body(0..nchunks)` with each chunk index run exactly once,
+/// distributed over the persistent pool (the calling thread participates).
+/// Returns after every chunk has completed.
+pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    if nchunks == 0 {
+        return;
+    }
+    if nchunks == 1 {
+        body(0);
+        return;
+    }
+    let pool = pool();
+    let workers = pool.workers.load(Ordering::Relaxed);
+    if workers == 0 {
+        for i in 0..nchunks {
+            body(i);
+        }
+        return;
+    }
+    let Ok(submit_guard) = pool.submit.try_lock() else {
+        return run_scoped(nchunks, body);
+    };
+    // Publish the job.  The lifetime transmute is sound because this
+    // function does not return until every worker acknowledges (below), so
+    // no worker can hold the pointer past the borrow.
+    let ptr: *const (dyn Fn(usize) + Sync + '_) = body;
+    let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(ptr)
+    };
+    unsafe {
+        *pool.slot.func.get() = Some(ptr);
+        *pool.slot.nchunks.get() = nchunks;
+    }
+    pool.next.store(0, Ordering::Relaxed);
+    pool.panicked.store(false, Ordering::Relaxed);
+    pool.remaining.store(workers, Ordering::Release);
+    {
+        let mut generation = pool.generation.lock().expect("pool generation poisoned");
+        *generation += 1;
+        pool.work_ready.notify_all();
+    }
+    // Participate (catching panics so workers are never left holding a
+    // dangling job pointer while we unwind).
+    let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+        let i = pool.next.fetch_add(1, Ordering::Relaxed);
+        if i >= nchunks {
+            break;
+        }
+        body(i);
+    }));
+    {
+        let mut done_guard = pool.done_lock.lock().expect("pool done lock poisoned");
+        while pool.remaining.load(Ordering::Acquire) != 0 {
+            done_guard = pool.done.wait(done_guard).expect("pool done lock poisoned");
+        }
+    }
+    drop(submit_guard);
+    if let Err(payload) = caller_outcome {
+        std::panic::resume_unwind(payload);
+    }
+    assert!(
+        !pool.panicked.load(Ordering::Relaxed),
+        "parkit: a pooled worker panicked inside a parallel region"
+    );
+}
+
+/// A raw pointer that may cross thread boundaries; used to hand disjoint
+/// chunk slices of one allocation to pool workers.
+///
+/// Access goes through [`SendPtr::get`] so closures capture the wrapper
+/// (whose `Sync` impl encodes the disjointness argument) rather than the
+/// bare pointer field.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer.
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: callers only ever dereference disjoint index ranges from
+// different threads, which is the same guarantee `split_at_mut` encodes.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        run_chunks(97, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_chunk_take_the_fast_path() {
+        run_chunks(0, &|_| panic!("must not run"));
+        let ran = AtomicU64::new(0);
+        run_chunks(1, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_many_small_jobs() {
+        let total = AtomicU64::new(0);
+        for round in 0..200 {
+            run_chunks(4, &|i| {
+                total.fetch_add((round * 4 + i) as u64 % 7, Ordering::Relaxed);
+            });
+        }
+        let expect: u64 = (0..800u64).map(|x| x % 7).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        // Simulated distsim ranks submit in parallel; losers of the submit
+        // race must fall back and still finish.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let sum = AtomicU64::new(0);
+                    run_chunks(16, &|i| {
+                        sum.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                    assert_eq!(sum.load(Ordering::Relaxed), 120);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pool_lanes_is_positive() {
+        assert!(pool_lanes() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            run_chunks(8, &|i| {
+                if i % 2 == 1 {
+                    panic!("chunk {i} failed");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -6,10 +6,57 @@
 //! still differ from a purely serial left-to-right sum because the partials
 //! are combined tree-style; that difference is within the usual rounding
 //! bounds and is deterministic run to run).
+//!
+//! [`parallel_reduce_ranges`] is the single primitive every other reduction
+//! (and the blocked `dense` kernels' Gram/GEMM accumulations) is built on:
+//! one code path computes per-chunk partials on the pool and folds them in
+//! chunk order.
 
 use crate::chunk::chunk_ranges;
 use crate::config::num_threads_for;
+use crate::pool::{run_chunks, SendPtr};
 use std::ops::Range;
+
+/// Parallel reduction over contiguous index sub-ranges of `0..len`.
+///
+/// `map_range(start, end)` produces one partial result per chunk; the
+/// partials are combined with `combine` in chunk order starting from
+/// `identity`, so the result is deterministic for a given `(len, threads)`
+/// pair.  This is the reduction primitive the row-blocked matrix kernels
+/// use: the body indexes shared column-major storage by global row range
+/// rather than receiving a flat slice.
+pub fn parallel_reduce_ranges<T, M, C>(len: usize, identity: T, map_range: M, combine: C) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let nthreads = num_threads_for(len);
+    if nthreads <= 1 {
+        if len == 0 {
+            return identity;
+        }
+        return combine(identity, map_range(0, len));
+    }
+    let ranges = chunk_ranges(len, nthreads);
+    let mut partials: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    partials.resize_with(ranges.len(), || None);
+    let slots = SendPtr(partials.as_mut_ptr());
+    run_chunks(ranges.len(), &|i| {
+        let r = ranges[i];
+        // SAFETY: each chunk index writes exactly its own slot.
+        let slot = unsafe { &mut *slots.get().add(i) };
+        *slot = Some(map_range(r.start, r.end));
+    });
+    let mut acc = identity;
+    for p in partials {
+        acc = combine(
+            acc,
+            p.expect("parallel_reduce_ranges: missing chunk partial"),
+        );
+    }
+    acc
+}
 
 /// Parallel map-reduce over an index range.
 ///
@@ -18,48 +65,39 @@ use std::ops::Range;
 /// across chunks in chunk order.
 pub fn parallel_map_reduce<T, M, C>(range: Range<usize>, identity: T, map: M, combine: C) -> T
 where
-    T: Send + Clone,
+    T: Send,
     M: Fn(usize) -> T + Sync,
     C: Fn(T, T) -> T + Sync,
 {
     let len = range.end.saturating_sub(range.start);
-    let nthreads = num_threads_for(len);
-    if nthreads <= 1 {
-        let mut acc = identity;
-        for i in range {
-            acc = combine(acc, map(i));
-        }
-        return acc;
+    let start0 = range.start;
+    // Chunks fold without an identity (chunk ranges are never empty), so
+    // `T` does not need to be `Sync`; the caller's identity seeds only the
+    // final chunk-order fold.
+    let folded = parallel_reduce_ranges(
+        len,
+        None::<T>,
+        |start, end| {
+            let mut acc: Option<T> = None;
+            for i in start0 + start..start0 + end {
+                let v = map(i);
+                acc = Some(match acc {
+                    Some(a) => combine(a, v),
+                    None => v,
+                });
+            }
+            acc
+        },
+        |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(combine(x, y)),
+            (x, None) => x,
+            (None, y) => y,
+        },
+    );
+    match folded {
+        Some(p) => combine(identity, p),
+        None => identity,
     }
-    let chunks = chunk_ranges(len, nthreads);
-    let partials: Vec<T> = std::thread::scope(|scope| {
-        let map = &map;
-        let combine = &combine;
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|c| {
-                let start = range.start + c.start;
-                let end = range.start + c.end;
-                let identity = identity.clone();
-                scope.spawn(move || {
-                    let mut acc = identity;
-                    for i in start..end {
-                        acc = combine(acc, map(i));
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_map_reduce worker panicked"))
-            .collect()
-    });
-    let mut acc = identity;
-    for p in partials {
-        acc = combine(acc, p);
-    }
-    acc
 }
 
 /// Parallel reduction over contiguous chunks of a read-only slice.
@@ -68,37 +106,17 @@ where
 /// partials are combined in chunk order.
 pub fn parallel_reduce_chunks<T, U, M, C>(data: &[U], identity: T, map_chunk: M, combine: C) -> T
 where
-    T: Send + Clone,
+    T: Send,
     U: Sync,
     M: Fn(&[U], usize) -> T + Sync,
     C: Fn(T, T) -> T,
 {
-    let len = data.len();
-    let nthreads = num_threads_for(len);
-    if nthreads <= 1 {
-        return combine(identity, map_chunk(data, 0));
-    }
-    let chunks = chunk_ranges(len, nthreads);
-    let partials: Vec<T> = std::thread::scope(|scope| {
-        let map_chunk = &map_chunk;
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|c| {
-                let chunk = &data[c.start..c.end];
-                let offset = c.start;
-                scope.spawn(move || map_chunk(chunk, offset))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_reduce_chunks worker panicked"))
-            .collect()
-    });
-    let mut acc = identity;
-    for p in partials {
-        acc = combine(acc, p);
-    }
-    acc
+    parallel_reduce_ranges(
+        data.len(),
+        identity,
+        |start, end| map_chunk(&data[start..end], start),
+        combine,
+    )
 }
 
 /// Parallel sum of a slice of `f64`.
@@ -129,6 +147,13 @@ mod tests {
     }
 
     #[test]
+    fn map_reduce_respects_range_start() {
+        let par = parallel_map_reduce(5_000..10_000, 0u64, |i| i as u64, |a, b| a + b);
+        let serial: u64 = (5_000..10_000u64).sum();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
     fn reduce_chunks_matches_iter_sum() {
         let data: Vec<f64> = (0..50_000).map(|i| (i % 17) as f64 * 0.25).collect();
         let expect: f64 = data.iter().sum();
@@ -154,6 +179,32 @@ mod tests {
         );
         let n = 10_000f64;
         assert_eq!(got, n * (n - 1.0) / 2.0);
+    }
+
+    #[test]
+    fn reduce_ranges_covers_whole_range_in_order() {
+        // Collect the visited ranges; combined in chunk order they must
+        // tile 0..len exactly.
+        let tiles = parallel_reduce_ranges(
+            12_345,
+            Vec::new(),
+            |start, end| vec![(start, end)],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(tiles.first().unwrap().0, 0);
+        assert_eq!(tiles.last().unwrap().1, 12_345);
+        for w in tiles.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be adjacent and ordered");
+        }
+    }
+
+    #[test]
+    fn reduce_ranges_empty_is_identity() {
+        let r = parallel_reduce_ranges(0, 42i32, |_, _| panic!("must not run"), |a, b| a + b);
+        assert_eq!(r, 42);
     }
 
     #[test]
