@@ -3,31 +3,28 @@
 //! The paper distributes matrices "among MPI processes in 1D block row
 //! format"; before each local SpMV a rank must receive the ghost entries of
 //! `x` its off-diagonal couplings reference (the neighborhood exchange of
-//! the matrix-powers kernel).  [`DistCsr::from_global`] builds the local
-//! block with its columns remapped to `[owned | ghost]`, plus a static
-//! exchange plan; [`DistCsr::spmv`] executes the plan with point-to-point
+//! the matrix-powers kernel).
+//!
+//! Construction is **streamed**: a rank supplies only its own row block —
+//! from a [`RowSource`] generator ([`DistCsr::from_row_source`]), a plain
+//! row iterator ([`DistCsr::from_row_stream`]), or an already-assembled
+//! local block with global columns ([`DistCsr::from_partitioned`], e.g.
+//! from `sparse::mm::read_matrix_market_row_block`) — so peak per-rank
+//! memory is `O(nnz/P + halo)` instead of `O(nnz)`
+//! (`crates/distsim/tests/streamed_assembly_memory.rs` enforces this with
+//! an allocation-tracking harness).  The halo/recv/send plan is negotiated
+//! by the shared planner in [`crate::assembly`];
+//! [`DistCsr::from_global`] remains as a thin wrapper that streams the rows
+//! of a replicated matrix through the same path, so every replicated call
+//! site exercises the streamed code and the two constructions are bitwise
+//! identical.  [`DistCsr::spmv`] executes the plan with point-to-point
 //! messages (counted in [`CommStats`](crate::CommStats)) and then runs the
 //! purely local CSR SpMV.
 
+use crate::assembly::{local_ghosts, normalize_local_block, plan_halo_exchange, HaloPlan};
 use crate::comm::Communicator;
-use sparse::{halo_columns, Csr, RowPartition, Triplet};
+use sparse::{Csr, RowPartition, RowSource};
 use std::sync::Arc;
-
-/// Ghost values to receive from one peer: they land in
-/// `ghost[start..start + len]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct RecvBlock {
-    peer: usize,
-    start: usize,
-    len: usize,
-}
-
-/// Owned `x` entries one peer needs: local indices into this rank's block.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct SendBlock {
-    peer: usize,
-    local_indices: Vec<usize>,
-}
 
 /// A CSR matrix distributed over a communicator in 1D block-row layout.
 #[derive(Debug)]
@@ -36,22 +33,26 @@ pub struct DistCsr {
     global_rows: usize,
     row_offset: usize,
     /// Local row block; columns `0..local_rows` are owned, columns
-    /// `local_rows..` are ghosts in the order of `ghost_globals`.
+    /// `local_rows..` are ghosts in the order of `plan.ghost_globals`.
     local: Csr,
-    /// Global indices of the ghost columns (sorted ascending).
-    ghost_globals: Vec<usize>,
-    recv_plan: Vec<RecvBlock>,
-    send_plan: Vec<SendBlock>,
+    plan: HaloPlan,
 }
 
 impl DistCsr {
-    /// Build the distributed matrix from the replicated global matrix `a`
-    /// and the row partition `part` (one entry per rank of `comm`).
+    /// Build the distributed matrix from this rank's **local row block**
+    /// (rows `part.range(comm.rank())`, columns still global) — the
+    /// lowest-level streamed constructor; the other constructors produce
+    /// the block and delegate here.
     ///
-    /// Every rank passes the same `a` and `part`; each keeps only its own
-    /// row block and derives the halo-exchange plan locally, so
-    /// construction needs no communication.
-    pub fn from_global(comm: Arc<dyn Communicator>, a: &Csr, part: &RowPartition) -> Self {
+    /// Collective: every rank must call it (the halo plan is negotiated
+    /// with two halo-sized all-gathers; see [`crate::assembly`]).  Rows
+    /// with unsorted or duplicate columns are normalized exactly as
+    /// `Csr::from_triplets` would.
+    pub fn from_partitioned(
+        comm: Arc<dyn Communicator>,
+        part: &RowPartition,
+        local_block: Csr,
+    ) -> Self {
         assert_eq!(
             part.nranks(),
             comm.size(),
@@ -59,98 +60,106 @@ impl DistCsr {
             part.nranks(),
             comm.size()
         );
+        let n = part.nrows();
+        let rank = comm.rank();
+        let (lo, hi) = part.range(rank);
+        assert_eq!(
+            local_block.nrows(),
+            hi - lo,
+            "rank {rank} owns rows {lo}..{hi} but the local block has {} rows",
+            local_block.nrows()
+        );
+        assert_eq!(
+            local_block.ncols(),
+            n,
+            "the local block must carry global column indices (ncols = {n})"
+        );
+        let ghosts = local_ghosts(&local_block, lo, hi);
+        let plan = plan_halo_exchange(comm.as_ref(), part, ghosts);
+        let local = normalize_local_block(local_block, lo, plan.ghost_globals());
+        Self {
+            comm,
+            global_rows: n,
+            row_offset: lo,
+            local,
+            plan,
+        }
+    }
+
+    /// Build the distributed matrix by streaming this rank's rows from a
+    /// [`RowSource`] — a stencil/surrogate generator or any operator that
+    /// can produce rows on demand.  The local block is assembled with
+    /// [`sparse::rows::assemble_rows`] (two passes: count, then fill into
+    /// exactly-sized arrays); the global matrix is never materialized
+    /// anywhere.
+    pub fn from_row_source<S: RowSource>(
+        comm: Arc<dyn Communicator>,
+        part: &RowPartition,
+        source: &S,
+    ) -> Self {
+        let n = part.nrows();
+        assert_eq!(source.nrows(), n, "partition does not cover the matrix");
+        assert_eq!(
+            source.ncols(),
+            n,
+            "1D block-row distribution needs a square operator"
+        );
+        let (lo, hi) = part.range(comm.rank());
+        let local = sparse::rows::assemble_rows(source, lo..hi);
+        Self::from_partitioned(comm, part, local)
+    }
+
+    /// Build the distributed matrix from an iterator over this rank's rows
+    /// (in row order, one `(columns, values)` pair per owned row, columns
+    /// global) — the constructor for rows arriving from an external
+    /// producer that can be consumed only once.
+    pub fn from_row_stream<I>(comm: Arc<dyn Communicator>, part: &RowPartition, rows: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<usize>, Vec<f64>)>,
+    {
+        let n = part.nrows();
+        let (lo, hi) = part.range(comm.rank());
+        let nloc = hi - lo;
+        let mut rowptr = Vec::with_capacity(nloc + 1);
+        rowptr.push(0usize);
+        let mut colind = Vec::new();
+        let mut vals = Vec::new();
+        for (row_cols, row_vals) in rows {
+            assert_eq!(
+                row_cols.len(),
+                row_vals.len(),
+                "row {}: columns and values must have equal length",
+                rowptr.len() - 1
+            );
+            colind.extend_from_slice(&row_cols);
+            vals.extend_from_slice(&row_vals);
+            rowptr.push(colind.len());
+        }
+        assert_eq!(
+            rowptr.len() - 1,
+            nloc,
+            "rank {} owns {nloc} rows but the stream produced {}",
+            comm.rank(),
+            rowptr.len() - 1
+        );
+        let local = Csr::from_raw(nloc, n, rowptr, colind, vals);
+        Self::from_partitioned(comm, part, local)
+    }
+
+    /// Build the distributed matrix from the replicated global matrix `a`
+    /// and the row partition `part` (one entry per rank of `comm`).
+    ///
+    /// Thin wrapper over [`DistCsr::from_row_source`]: the replicated
+    /// matrix acts as the row provider for this rank's block, so every
+    /// call site exercises the streamed assembly path and produces exactly
+    /// the storage and exchange plan a streamed construction would.
+    pub fn from_global(comm: Arc<dyn Communicator>, a: &Csr, part: &RowPartition) -> Self {
         assert_eq!(
             part.nrows(),
             a.nrows(),
             "partition does not cover the matrix"
         );
-        let rank = comm.rank();
-        let (lo, hi) = part.range(rank);
-        let nloc = hi - lo;
-
-        if comm.size() == 1 {
-            return Self {
-                comm,
-                global_rows: a.nrows(),
-                row_offset: 0,
-                local: a.clone(),
-                ghost_globals: Vec::new(),
-                recv_plan: Vec::new(),
-                send_plan: Vec::new(),
-            };
-        }
-
-        // Ghost columns this rank needs, and the column remap
-        // global -> [owned | ghost].
-        let ghost_globals = halo_columns(a, lo, hi);
-        let local_col = |c: usize| -> usize {
-            if (lo..hi).contains(&c) {
-                c - lo
-            } else {
-                nloc + ghost_globals
-                    .binary_search(&c)
-                    .expect("ghost column missing from halo")
-            }
-        };
-        let mut triplets = Vec::new();
-        for i in lo..hi {
-            let (cols, vals) = a.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                triplets.push(Triplet {
-                    row: i - lo,
-                    col: local_col(c),
-                    val: v,
-                });
-            }
-        }
-        let local = Csr::from_triplets(nloc, nloc + ghost_globals.len(), &triplets);
-
-        // Receive plan: ghosts grouped by owning rank (ghosts are sorted by
-        // global index and ownership is monotone, so groups are contiguous).
-        let mut recv_plan: Vec<RecvBlock> = Vec::new();
-        for (pos, &g) in ghost_globals.iter().enumerate() {
-            let owner = part.owner(g);
-            debug_assert_ne!(owner, rank, "owned column listed as ghost");
-            match recv_plan.last_mut() {
-                Some(block) if block.peer == owner => block.len += 1,
-                _ => recv_plan.push(RecvBlock {
-                    peer: owner,
-                    start: pos,
-                    len: 1,
-                }),
-            }
-        }
-
-        // Send plan: because `a` is replicated, this rank can compute every
-        // peer's halo and keep the part it owns.
-        let mut send_plan = Vec::new();
-        for peer in 0..part.nranks() {
-            if peer == rank {
-                continue;
-            }
-            let (plo, phi) = part.range(peer);
-            let needed: Vec<usize> = halo_columns(a, plo, phi)
-                .into_iter()
-                .filter(|&c| (lo..hi).contains(&c))
-                .map(|c| c - lo)
-                .collect();
-            if !needed.is_empty() {
-                send_plan.push(SendBlock {
-                    peer,
-                    local_indices: needed,
-                });
-            }
-        }
-
-        Self {
-            comm,
-            global_rows: a.nrows(),
-            row_offset: lo,
-            local,
-            ghost_globals,
-            recv_plan,
-            send_plan,
-        }
+        Self::from_row_source(comm, part, a)
     }
 
     /// The communicator this matrix lives on.
@@ -180,7 +189,14 @@ impl DistCsr {
 
     /// Number of ghost columns this rank receives per SpMV.
     pub fn num_ghosts(&self) -> usize {
-        self.ghost_globals.len()
+        self.plan.recv_words()
+    }
+
+    /// The halo-exchange plan (ghost list, per-peer send/receive volumes) —
+    /// what the performance model's message-volume terms are validated
+    /// against.
+    pub fn halo_plan(&self) -> &HaloPlan {
+        &self.plan
     }
 
     /// Distributed `y = A·x` on the local blocks: halo exchange
@@ -194,13 +210,13 @@ impl DistCsr {
             return;
         }
         // Post all sends first (mailboxes are non-blocking), then receive.
-        for block in &self.send_plan {
+        for block in &self.plan.send {
             let payload: Vec<f64> = block.local_indices.iter().map(|&i| x_local[i]).collect();
             self.comm.send(block.peer, &payload);
         }
-        let mut x_ext = vec![0.0; nloc + self.ghost_globals.len()];
+        let mut x_ext = vec![0.0; nloc + self.plan.recv_words()];
         x_ext[..nloc].copy_from_slice(x_local);
-        for block in &self.recv_plan {
+        for block in &self.plan.recv {
             let data = self.comm.recv(block.peer);
             assert_eq!(
                 data.len(),
@@ -221,7 +237,7 @@ mod tests {
     use super::*;
     use crate::serial::SerialComm;
     use crate::thread::run_ranks;
-    use sparse::{block_row_partition, laplace2d_5pt, laplace2d_9pt};
+    use sparse::{block_row_partition, laplace2d_5pt, laplace2d_9pt, Laplace2d9ptRows};
 
     #[test]
     fn serial_dist_csr_is_the_global_matrix() {
@@ -231,6 +247,7 @@ mod tests {
         assert_eq!(dist.global_rows(), a.nrows());
         assert_eq!(dist.row_offset(), 0);
         assert_eq!(dist.num_ghosts(), 0);
+        assert_eq!(dist.local_matrix(), &a, "serial local block is the matrix");
         let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
         let mut y = vec![0.0; a.nrows()];
         dist.spmv(&x, &mut y);
@@ -261,6 +278,89 @@ mod tests {
                 assert!((p - q).abs() < 1e-13, "nranks {nranks}: {p} vs {q}");
             }
         }
+    }
+
+    #[test]
+    fn streamed_construction_from_a_generator_matches_from_global() {
+        // The headline property: a rank building its block straight from
+        // the stencil row source (never holding the global matrix) gets
+        // bitwise the same local matrix, ghosts and SpMV as the replicated
+        // path.
+        let (nx, ny) = (12, 9);
+        let source = Laplace2d9ptRows { nx, ny };
+        let a = laplace2d_9pt(nx, ny);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 11 % 23) as f64) * 0.17 - 1.5)
+            .collect();
+        for nranks in [1usize, 3, 4] {
+            let part = block_row_partition(n, nranks);
+            let pairs = run_ranks(nranks, |comm| {
+                let (lo, hi) = part.range(comm.rank());
+                let replicated = DistCsr::from_global(comm.clone(), &a, &part);
+                let streamed = DistCsr::from_row_source(comm, &part, &source);
+                assert_eq!(
+                    streamed.local_matrix(),
+                    replicated.local_matrix(),
+                    "local blocks must be bitwise identical"
+                );
+                assert_eq!(streamed.halo_plan(), replicated.halo_plan());
+                let mut y_s = vec![0.0; hi - lo];
+                let mut y_r = vec![0.0; hi - lo];
+                streamed.spmv(&x[lo..hi], &mut y_s);
+                replicated.spmv(&x[lo..hi], &mut y_r);
+                (y_s, y_r)
+            });
+            for (y_s, y_r) in pairs {
+                assert_eq!(y_s, y_r, "nranks {nranks}: SpMV must be bitwise equal");
+            }
+        }
+    }
+
+    #[test]
+    fn from_row_stream_consumes_an_iterator_once() {
+        let a = laplace2d_5pt(9, 7);
+        let n = a.nrows();
+        let part = block_row_partition(n, 3);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let same = run_ranks(3, |comm| {
+            let (lo, hi) = part.range(comm.rank());
+            // A one-shot iterator handing out owned rows, as an external
+            // producer (file reader, network stream) would.
+            let rows = (lo..hi).map(|i| {
+                let (c, v) = a.row(i);
+                (c.to_vec(), v.to_vec())
+            });
+            let dist = DistCsr::from_row_stream(comm.clone(), &part, rows);
+            let reference = DistCsr::from_global(comm, &a, &part);
+            let mut y = vec![0.0; hi - lo];
+            let mut y_ref = vec![0.0; hi - lo];
+            dist.spmv(&x[lo..hi], &mut y);
+            reference.spmv(&x[lo..hi], &mut y_ref);
+            dist.local_matrix() == reference.local_matrix()
+                && dist.halo_plan() == reference.halo_plan()
+                && y == y_ref
+        });
+        assert!(
+            same.into_iter().all(|s| s),
+            "streamed rows must reproduce the replicated construction bitwise"
+        );
+    }
+
+    #[test]
+    fn from_partitioned_accepts_a_preassembled_block() {
+        let a = laplace2d_5pt(8, 8);
+        let n = a.nrows();
+        let part = block_row_partition(n, 4);
+        let results = run_ranks(4, |comm| {
+            let (lo, hi) = part.range(comm.rank());
+            let block = a.row_block(lo, hi); // global columns
+            let dist = DistCsr::from_partitioned(comm.clone(), &part, block);
+            let reference = DistCsr::from_global(comm, &a, &part);
+            dist.local_matrix() == reference.local_matrix()
+                && dist.halo_plan() == reference.halo_plan()
+        });
+        assert!(results.into_iter().all(|same| same));
     }
 
     #[test]

@@ -27,13 +27,19 @@
 //!   many global reductions it performs;
 //! * [`DistCsr`] — a 1D block-row distributed CSR matrix whose SpMV does
 //!   the neighborhood (halo) exchange with point-to-point messages, as the
-//!   paper's MPI runs do.
+//!   paper's MPI runs do.  Construction is **streamed**
+//!   ([`DistCsr::from_row_source`] / [`DistCsr::from_row_stream`] /
+//!   [`DistCsr::from_partitioned`]): each rank materializes only its own
+//!   row block — `O(nnz/P + halo)` peak memory — and the exchange plan is
+//!   negotiated by the [`assembly`] planner; [`DistCsr::from_global`] is a
+//!   thin wrapper streaming a replicated matrix through the same path.
 //!
 //! Determinism: collective reductions combine per-rank contributions in
 //! rank order, so a given rank count always produces bitwise-identical
 //! results; serial and multi-rank runs agree to rounding (the summation
 //! *order* differs, the reduction *structure* does not).
 
+pub mod assembly;
 pub mod comm;
 pub mod csr;
 pub mod multivector;
@@ -41,6 +47,7 @@ pub mod serial;
 pub mod stats;
 pub mod thread;
 
+pub use assembly::{plan_halo_exchange, HaloPlan};
 pub use comm::Communicator;
 pub use csr::DistCsr;
 pub use multivector::DistMultiVector;

@@ -1,0 +1,161 @@
+//! Allocation-tracking proof of the streamed-assembly memory claim.
+//!
+//! The point of `DistCsr::from_row_source` is that a rank building its
+//! block never holds the global matrix: peak construction memory must be
+//! `O(nnz/P + halo)`, not `O(nnz)`.  This harness installs a counting
+//! global allocator with **thread-local** live/peak counters — each
+//! simulated rank runs on its own thread (`run_ranks`), so a rank's peak is
+//! measured independently of its peers — and asserts both the absolute
+//! bound (a rank's peak is a small multiple of its own block, far below the
+//! global matrix) and the scaling (doubling the rank count roughly halves
+//! the per-rank peak).
+//!
+//! Counters are `isize`: a thread may legitimately free memory another
+//! thread allocated (mailbox messages, collective result buffers), which
+//! only perturbs the measurement by halo-sized amounts.
+
+use distsim::{run_ranks, DistCsr};
+use sparse::{block_row_partition, laplace2d_9pt, Laplace2d9ptRows, RowPartition};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static LIVE: Cell<isize> = const { Cell::new(0) };
+    static PEAK: Cell<isize> = const { Cell::new(0) };
+}
+
+fn track_alloc(size: usize) {
+    LIVE.with(|live| {
+        let now = live.get() + size as isize;
+        live.set(now);
+        PEAK.with(|peak| {
+            if now > peak.get() {
+                peak.set(now);
+            }
+        });
+    });
+}
+
+fn track_dealloc(size: usize) {
+    LIVE.with(|live| live.set(live.get() - size as isize));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_dealloc(layout.size());
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Old and new blocks coexist while the contents are copied.
+        track_alloc(new_size);
+        track_dealloc(layout.size());
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` and return (this thread's peak allocation above the level at
+/// entry, in bytes; f's result).
+fn measure<T>(f: impl FnOnce() -> T) -> (usize, T) {
+    let base = LIVE.with(|l| l.get());
+    PEAK.with(|p| p.set(base));
+    let out = f();
+    let peak = PEAK.with(|p| p.get());
+    ((peak - base).max(0) as usize, out)
+}
+
+/// Largest per-rank construction peak over all ranks of a streamed
+/// assembly.
+fn streamed_peak(nranks: usize, rows: &Laplace2d9ptRows, part: &RowPartition) -> usize {
+    let peaks = run_ranks(nranks, |comm| {
+        let (peak, dist) = measure(|| DistCsr::from_row_source(comm, part, rows));
+        assert_eq!(dist.global_rows(), part.nrows());
+        peak
+    });
+    peaks.into_iter().max().unwrap()
+}
+
+#[test]
+fn streamed_construction_peak_is_local_block_sized_not_global() {
+    // 9-point Laplacian on a 180×180 grid: n = 32 400, nnz ≈ 289k, so the
+    // global CSR is ~4.6 MB — big enough that per-rank blocks and the
+    // global matrix are clearly distinguishable through allocator noise.
+    let nx = 180;
+    let rows = Laplace2d9ptRows { nx, ny: nx };
+
+    // Reference: what materializing the global operator costs (measured on
+    // this thread, where the replicated path would pay it on every rank).
+    let (replicated_peak, a) = measure(|| laplace2d_9pt(nx, nx));
+    let global_bytes = a.nnz() * 16 + (a.nrows() + 1) * 8;
+    assert!(
+        replicated_peak >= global_bytes,
+        "sanity: building the global matrix allocates at least its storage \
+         ({replicated_peak} vs {global_bytes})"
+    );
+    let n = a.nrows();
+    drop(a);
+
+    let part8 = block_row_partition(n, 8);
+    let peak8 = streamed_peak(8, &rows, &part8);
+
+    // Absolute bound: a rank's peak is a small multiple of its own block
+    // (nnz/P + halo), far below the global matrix.  The halo of a 9-pt
+    // block row is two grid lines (2·nx values) plus planner metadata.
+    let local_bytes = global_bytes / 8;
+    let halo_bytes = 8 * (2 * nx) * 8; // padded ghost lists of all 8 ranks
+    assert!(
+        peak8 < 3 * (local_bytes + halo_bytes) + (64 << 10),
+        "rank peak {peak8} B exceeds O(nnz/P + halo) bound \
+         (local {local_bytes} B, halo {halo_bytes} B)"
+    );
+    assert!(
+        2 * peak8 < global_bytes,
+        "rank peak {peak8} B must be far below the {global_bytes} B global \
+         matrix the replicated path holds per rank"
+    );
+
+    // Scaling: 4× the ranks must shrink the per-rank peak by well over 2×.
+    let part2 = block_row_partition(n, 2);
+    let peak2 = streamed_peak(2, &rows, &part2);
+    assert!(
+        peak2 > 2 * peak8,
+        "per-rank peak must scale with nnz/P: P=2 peaked at {peak2} B, \
+         P=8 at {peak8} B"
+    );
+}
+
+#[test]
+fn replicated_wrapper_still_costs_global_memory_per_rank() {
+    // The flip side of the claim: `from_global` (now a wrapper over the
+    // streamed path) is handed an already-materialized global matrix, so a
+    // simulated rank that *builds* that matrix first pays O(nnz) — the cost
+    // the row-provider constructors exist to avoid.
+    let nx = 120;
+    let rows = Laplace2d9ptRows { nx, ny: nx };
+    let n = nx * nx;
+    let part = block_row_partition(n, 4);
+    let peaks = run_ranks(4, |comm| {
+        let (replicated_peak, _) = measure(|| {
+            let a = laplace2d_9pt(nx, nx); // every rank replicates the matrix
+            DistCsr::from_global(comm.clone(), &a, &part)
+        });
+        let (streamed_peak, _) = measure(|| DistCsr::from_row_source(comm, &part, &rows));
+        (replicated_peak, streamed_peak)
+    });
+    for (replicated, streamed) in peaks {
+        assert!(
+            2 * streamed < replicated,
+            "streamed {streamed} B should be far below replicated {replicated} B"
+        );
+    }
+}

@@ -188,6 +188,61 @@ pub fn ortho_reduce_count(scheme: SchemeKind, m: usize, s: usize) -> usize {
     }
 }
 
+/// Total number of `f64` words all-reduced by the orthogonalization of one
+/// restart cycle — the message-*volume* companion of
+/// [`ortho_reduce_count`], mirroring exactly the `allreduce(words)` terms
+/// [`ortho_cycle_cost`] feeds the machine model:
+///
+/// * CGS2 column `c`: two `k`-word projections plus a one-word norm,
+///   `k = c` previous columns;
+/// * BCGS2 + CholQR2 panel: two `k·s`-word projections and three `s²`-word
+///   Gram matrices;
+/// * BCGS-PIP2 panel: two fused `(k + s)·s`-word reduces;
+/// * two-stage: one fused `(k + s)·s`-word reduce per panel plus one
+///   `(k' + w)·w`-word reduce per flushed big panel of `w` columns.
+///
+/// `tests/comm_volume_validation.rs` asserts these analytic volumes against
+/// the `CommStats::allreduce_words` measured from running the real schemes
+/// on the `distsim` substrate.
+pub fn ortho_cycle_words(scheme: SchemeKind, m: usize, s: usize) -> usize {
+    let mut words = 0usize;
+    match scheme {
+        SchemeKind::StandardCgs2 => {
+            for c in 1..=m {
+                words += 2 * c + 1;
+            }
+        }
+        SchemeKind::Bcgs2CholQr2 => {
+            for j in 0..m / s {
+                let k = j * s + 1;
+                words += 2 * k * s + 3 * s * s;
+            }
+        }
+        SchemeKind::BcgsPip2 => {
+            for j in 0..m / s {
+                let k = j * s + 1;
+                words += 2 * (k + s) * s;
+            }
+        }
+        SchemeKind::TwoStage { bs } => {
+            let panels = m / s;
+            let mut big_start = 0usize;
+            let mut pending = 1usize; // the residual column awaits stage 2
+            for j in 0..panels {
+                let k = j * s + 1;
+                words += (k + s) * s;
+                pending += s;
+                if pending > bs || j == panels - 1 {
+                    words += (big_start + pending) * pending;
+                    big_start += pending;
+                    pending = 0;
+                }
+            }
+        }
+    }
+    words
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

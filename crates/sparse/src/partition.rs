@@ -39,20 +39,16 @@ impl RowPartition {
     }
 
     /// The rank that owns global row `i`.
+    ///
+    /// Well-defined even when some ranks own empty ranges (repeated
+    /// offsets): the returned rank's range always *contains* `i` —
+    /// `binary_search` would be ambiguous about which of the equal offsets
+    /// it lands on, which matters because the halo planner must never
+    /// attribute a ghost column to a rank that owns nothing.
     pub fn owner(&self, i: usize) -> usize {
         assert!(i < self.nrows(), "row {i} out of range");
-        // Binary search over the offsets.
-        match self.offsets.binary_search(&i) {
-            Ok(r) => {
-                // `i` is the first row of rank r unless r is the end sentinel.
-                if r == self.offsets.len() - 1 {
-                    r - 1
-                } else {
-                    r
-                }
-            }
-            Err(r) => r - 1,
-        }
+        // Index of the last offset ≤ i: that rank's range is non-empty at i.
+        self.offsets.partition_point(|&o| o <= i) - 1
     }
 }
 
@@ -152,6 +148,30 @@ mod tests {
             for i in lo..hi {
                 assert_eq!(p.owner(i), r, "row {i}");
             }
+        }
+    }
+
+    #[test]
+    fn owner_skips_empty_middle_ranks() {
+        // Rank 1 owns nothing (offsets repeat): every row must be
+        // attributed to a rank whose range actually contains it.
+        let p = RowPartition {
+            offsets: vec![0, 2, 2, 4],
+        };
+        for i in 0..4 {
+            let r = p.owner(i);
+            let (lo, hi) = p.range(r);
+            assert!(
+                (lo..hi).contains(&i),
+                "row {i} attributed to empty rank {r}"
+            );
+        }
+        assert_eq!(p.owner(2), 2);
+        // Trailing empty ranks as produced by block_row_partition.
+        let q = block_row_partition(3, 5);
+        for i in 0..3 {
+            let (lo, hi) = q.range(q.owner(i));
+            assert!((lo..hi).contains(&i));
         }
     }
 

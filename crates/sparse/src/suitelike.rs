@@ -16,7 +16,8 @@
 //! shifts the diagonal to make the matrix positive definite; otherwise a
 //! mild skew term keeps it non-symmetric.
 
-use crate::csr::{Csr, Triplet};
+use crate::csr::Csr;
+use crate::rows::{assemble, RowSource};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -90,56 +91,96 @@ pub const SUITE_SPARSE_SET: &[SuiteLikeSpec] = &[
     },
 ];
 
-/// Generate a surrogate for `spec`, optionally overriding the dimension
-/// (the paper-scale dimensions are large; tests and laptop runs pass a
-/// smaller `n_override`).
-pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, seed: u64) -> Csr {
-    let n = n_override.unwrap_or(spec.n);
-    assert!(n >= 8, "surrogate dimension too small");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
-    // Off-diagonal couplings per row (pattern offsets shared by all rows).
-    let offdiag_per_row = (spec.nnz_per_row.round() as usize).saturating_sub(1).max(2);
-    let mut offsets: Vec<i64> = Vec::with_capacity(offdiag_per_row + 1);
-    if spec.spd {
-        // Symmetric pattern: mirrored ± offsets, half short-range
-        // (stencil-like), half long-range (unstructured fill).
-        let half = offdiag_per_row.div_ceil(2).max(1);
-        for k in 0..half {
-            let d = if k % 2 == 0 {
-                1 + (k / 2) as i64
-            } else {
-                let span = (n / 7).max(2) as u64;
-                (rng.random::<u64>() % span) as i64 + 2
-            };
-            offsets.push(d);
-            offsets.push(-d);
-        }
-    } else {
-        for k in 0..offdiag_per_row {
-            if k % 2 == 0 {
-                let short = 1 + (k / 2) as i64;
-                offsets.push(if k % 4 == 0 { -short } else { short });
-            } else {
-                let span = (n / 7).max(2) as u64;
-                let r = (rng.random::<u64>() % span) as i64 + 2;
-                offsets.push(if k % 4 == 1 { r } else { -r });
+/// Streaming row source for a SuiteSparse-like surrogate.
+///
+/// Every row is generated independently from a per-row RNG seeded by
+/// `(seed, row)`, so any row can be produced on demand in any order — the
+/// property the streamed distributed assembly
+/// (`distsim::DistCsr::from_row_source`) needs to build a rank's block
+/// without materializing the global matrix.  The pattern offsets are drawn
+/// once at construction (they are shared by all rows, like a stencil with
+/// long-range couplings).
+#[derive(Debug, Clone)]
+pub struct SuiteLikeRows {
+    n: usize,
+    spd: bool,
+    seed: u64,
+    offsets: Vec<i64>,
+}
+
+impl SuiteLikeRows {
+    /// Build the row source for `spec`, optionally overriding the dimension
+    /// (the paper-scale dimensions are large; tests and laptop runs pass a
+    /// smaller `n_override`).
+    pub fn new(spec: &SuiteLikeSpec, n_override: Option<usize>, seed: u64) -> Self {
+        let n = n_override.unwrap_or(spec.n);
+        assert!(n >= 8, "surrogate dimension too small");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        // Off-diagonal couplings per row (pattern offsets shared by all rows).
+        let offdiag_per_row = (spec.nnz_per_row.round() as usize).saturating_sub(1).max(2);
+        let mut offsets: Vec<i64> = Vec::with_capacity(offdiag_per_row + 1);
+        if spec.spd {
+            // Symmetric pattern: mirrored ± offsets, half short-range
+            // (stencil-like), half long-range (unstructured fill).
+            let half = offdiag_per_row.div_ceil(2).max(1);
+            for k in 0..half {
+                let d = if k % 2 == 0 {
+                    1 + (k / 2) as i64
+                } else {
+                    let span = (n / 7).max(2) as u64;
+                    (rng.random::<u64>() % span) as i64 + 2
+                };
+                offsets.push(d);
+                offsets.push(-d);
+            }
+        } else {
+            for k in 0..offdiag_per_row {
+                if k % 2 == 0 {
+                    let short = 1 + (k / 2) as i64;
+                    offsets.push(if k % 4 == 0 { -short } else { short });
+                } else {
+                    let span = (n / 7).max(2) as u64;
+                    let r = (rng.random::<u64>() % span) as i64 + 2;
+                    offsets.push(if k % 4 == 1 { r } else { -r });
+                }
             }
         }
+        offsets.sort_unstable();
+        offsets.dedup();
+        Self {
+            n,
+            spd: spec.spd,
+            seed,
+            offsets,
+        }
     }
-    offsets.sort_unstable();
-    offsets.dedup();
+}
 
-    let mut t = Vec::with_capacity(n * (offsets.len() + 1));
-    for i in 0..n {
+impl RowSource for SuiteLikeRows {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+    fn ncols(&self) -> usize {
+        self.n
+    }
+    fn emit_row(&self, i: usize, cols: &mut Vec<usize>, vals: &mut Vec<f64>) {
+        let n = self.n;
+        // Per-row generator: splitmix-style mixing of (seed, row) so rows
+        // are independent and reproducible in any order.
+        let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed ^ 0x5eed_0001;
+        h ^= h >> 31;
+        let mut rng = StdRng::seed_from_u64(h);
+        let below = cols.len();
         let mut row_abs_sum = 0.0;
-        for &d in &offsets {
+        let mut diag_at = below;
+        for &d in &self.offsets {
             let j = i as i64 + d;
             if j < 0 || j as usize >= n {
                 continue;
             }
             let j = j as usize;
             let mag: f64 = 0.1 + 0.9 * rng.random::<f64>();
-            let val = if spec.spd {
+            let val = if self.spd {
                 // Symmetric value determined by the unordered pair (i, j).
                 let (a, b) = if i < j { (i, j) } else { (j, i) };
                 let h = (a
@@ -155,27 +196,37 @@ pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, se
                 }
             };
             row_abs_sum += val.abs();
-            t.push(Triplet {
-                row: i,
-                col: j,
-                val,
-            });
+            if d < 0 {
+                diag_at += 1;
+            }
+            cols.push(j);
+            vals.push(val);
         }
         // Diagonal: dominant for SPD (guarantees positive definiteness);
         // mildly dominant otherwise so GMRES converges without a
         // preconditioner on the surrogate, as it does on the originals.
-        let diag = if spec.spd {
+        let diag = if self.spd {
             row_abs_sum + 1.0
         } else {
             row_abs_sum * (1.05 + 0.1 * rng.random::<f64>())
         };
-        t.push(Triplet {
-            row: i,
-            col: i,
-            val: diag,
-        });
+        // The offsets are ascending, so entries below the diagonal came
+        // first; splice the diagonal in between to keep the row sorted.
+        cols.insert(diag_at, i);
+        vals.insert(diag_at, diag);
+        debug_assert!(cols[below..].windows(2).all(|w| w[0] < w[1]));
     }
-    Csr::from_triplets(n, n, &t)
+}
+
+/// Generate a surrogate for `spec`, optionally overriding the dimension
+/// (the paper-scale dimensions are large; tests and laptop runs pass a
+/// smaller `n_override`).
+///
+/// This is [`rows::assemble`](crate::rows::assemble) over
+/// [`SuiteLikeRows`], so a replicated surrogate and a streamed per-rank
+/// block of the same spec/seed agree bitwise.
+pub fn suitesparse_surrogate(spec: &SuiteLikeSpec, n_override: Option<usize>, seed: u64) -> Csr {
+    assemble(&SuiteLikeRows::new(spec, n_override, seed))
 }
 
 /// Find a spec by (SuiteSparse) name.
@@ -250,6 +301,24 @@ mod tests {
         let a = suitesparse_surrogate(spec, Some(300), 7);
         let b = suitesparse_surrogate(spec, Some(300), 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_can_be_emitted_out_of_order_and_match_the_assembled_matrix() {
+        let spec = spec_by_name("atmosmodl").unwrap();
+        let src = SuiteLikeRows::new(spec, Some(300), 11);
+        let a = suitesparse_surrogate(spec, Some(300), 11);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        // Visit rows backwards: each must match the assembled matrix exactly.
+        for i in (0..300).rev() {
+            cols.clear();
+            vals.clear();
+            src.emit_row(i, &mut cols, &mut vals);
+            let (rc, rv) = a.row(i);
+            assert_eq!(cols, rc, "row {i} pattern");
+            assert_eq!(vals, rv, "row {i} values");
+        }
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! File-backed Matrix Market tests: round trips, format variants,
+//! malformed-header diagnostics, and the streaming row-block reader's
+//! equivalence with the materializing reader.
+//!
+//! Fixtures are real files in a per-process temp directory (the offline
+//! stand-in for `tempfile`), so the `Path`-taking entry points — the ones a
+//! rank uses in production — are what gets exercised, not just the
+//! `BufRead` test hooks.
+
+use sparse::mm::{
+    read_matrix_market, read_matrix_market_info, read_matrix_market_row_block, write_matrix_market,
+    MmError,
+};
+use sparse::{block_row_partition, laplace2d_9pt, suitesparse_surrogate, Csr, SUITE_SPARSE_SET};
+use std::path::PathBuf;
+
+/// A fresh fixture directory per test, keyed by process id so parallel
+/// `cargo test` processes cannot collide.
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(test: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "two_stage_gmres_mm_stream_{}_{test}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self { dir }
+    }
+
+    fn write(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+#[test]
+fn general_real_file_round_trips_and_streams() {
+    let fx = Fixture::new("general");
+    let a = laplace2d_9pt(9, 7);
+    let path = fx.dir.join("laplace.mtx");
+    write_matrix_market(&path, &a).unwrap();
+
+    let info = read_matrix_market_info(&path).unwrap();
+    assert_eq!((info.nrows, info.ncols), (63, 63));
+    assert_eq!(info.stored_entries, a.nnz());
+    assert!(!info.is_symmetric());
+
+    let full = read_matrix_market(&path).unwrap();
+    assert_eq!(full, a, "write → read must be lossless");
+
+    // Streamed row blocks equal the materializing reader's row blocks —
+    // bitwise — for every rank of a 4-way partition (including the uneven
+    // trailing block).
+    let part = block_row_partition(a.nrows(), 4);
+    for r in 0..4 {
+        let (lo, hi) = part.range(r);
+        let block = read_matrix_market_row_block(&path, lo..hi).unwrap();
+        assert_eq!(block, full.row_block(lo, hi), "rank {r} block");
+    }
+}
+
+#[test]
+fn symmetric_file_streams_with_mirrored_entries() {
+    let fx = Fixture::new("symmetric");
+    // Store only the lower triangle of a symmetric matrix.
+    let a = laplace2d_9pt(6, 6);
+    let mut text = String::from("%%MatrixMarket matrix coordinate real symmetric\n");
+    let mut stored = 0;
+    let mut body = String::new();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            if *c <= i {
+                body.push_str(&format!("{} {} {v:.17e}\n", i + 1, c + 1));
+                stored += 1;
+            }
+        }
+    }
+    text.push_str(&format!("{} {} {stored}\n{body}", a.nrows(), a.ncols()));
+    let path = fx.write("sym.mtx", &text);
+
+    let full = read_matrix_market(&path).unwrap();
+    assert_eq!(full, a, "symmetric expansion must rebuild the full matrix");
+
+    // A block in the upper half of the row range sees entries whose stored
+    // form lives in other blocks' rows — the mirroring path.
+    for (lo, hi) in [(0usize, 9usize), (9, 20), (20, 36), (0, 36)] {
+        let block = read_matrix_market_row_block(&path, lo..hi).unwrap();
+        assert_eq!(block, full.row_block(lo, hi), "block {lo}..{hi}");
+    }
+}
+
+#[test]
+fn pattern_file_streams_unit_values() {
+    let fx = Fixture::new("pattern");
+    let path = fx.write(
+        "pattern.mtx",
+        "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n1 1\n3 2\n4 4\n",
+    );
+    let full = read_matrix_market(&path).unwrap();
+    assert_eq!(full.nnz(), 4); // (3,2) mirrored to (2,3)
+    let block = read_matrix_market_row_block(&path, 1..3).unwrap();
+    assert_eq!(block, full.row_block(1, 3));
+    let (cols, vals) = block.row(0); // global row 1 holds the mirrored (2,3)
+    assert_eq!(cols, &[2]);
+    assert_eq!(vals, &[1.0]);
+}
+
+#[test]
+fn malformed_headers_are_rejected_with_diagnostics() {
+    let fx = Fixture::new("malformed");
+    let cases: [(&str, &str, &str); 6] = [
+        ("empty.mtx", "", "empty file"),
+        ("noheader.mtx", "1 1 1\n1 1 2.0\n", "missing %%MatrixMarket"),
+        (
+            "array.mtx",
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n",
+            "unsupported header",
+        ),
+        (
+            "field.mtx",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n",
+            "unsupported field type",
+        ),
+        (
+            "symmetry.mtx",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n",
+            "unsupported symmetry",
+        ),
+        (
+            "sizeline.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1.0\n",
+            "size line",
+        ),
+    ];
+    for (name, contents, needle) in cases {
+        let path = fx.write(name, contents);
+        for result in [
+            read_matrix_market(&path).map(|_| ()),
+            read_matrix_market_row_block(&path, 0..0).map(|_| ()),
+            read_matrix_market_info(&path).map(|_| ()),
+        ] {
+            let err = result.expect_err(name);
+            assert!(
+                matches!(err, MmError::Format(_)),
+                "{name}: expected a format error, got {err}"
+            );
+            assert!(
+                err.to_string().contains(needle),
+                "{name}: diagnostic {err:?} should mention {needle:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_and_out_of_bounds_bodies_fail_in_both_readers() {
+    let fx = Fixture::new("badbody");
+    let short = fx.write(
+        "short.mtx",
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+    );
+    assert!(read_matrix_market(&short).is_err());
+    // The streaming reader validates the global entry count even when the
+    // requested block holds none of the entries.
+    assert!(read_matrix_market_row_block(&short, 1..2).is_err());
+    let oob = fx.write(
+        "oob.mtx",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+    );
+    assert!(read_matrix_market(&oob).is_err());
+    assert!(read_matrix_market_row_block(&oob, 0..1).is_err());
+    // An out-of-range block request is rejected before any parsing work.
+    let ok = fx.write(
+        "ok.mtx",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n",
+    );
+    assert!(read_matrix_market_row_block(&ok, 0..5).is_err());
+}
+
+#[test]
+fn streamed_blocks_of_a_surrogate_cover_the_matrix() {
+    // End-to-end: dump a SuiteSparse surrogate, stream it back rank by
+    // rank, and reassemble — the concatenation must equal the original.
+    let fx = Fixture::new("surrogate");
+    let spec = &SUITE_SPARSE_SET[0];
+    let a = suitesparse_surrogate(spec, Some(500), 3);
+    let path = fx.dir.join("surrogate.mtx");
+    write_matrix_market(&path, &a).unwrap();
+    let part = block_row_partition(a.nrows(), 5);
+    let mut rowptr = vec![0usize];
+    let mut colind = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..5 {
+        let (lo, hi) = part.range(r);
+        let block = read_matrix_market_row_block(&path, lo..hi).unwrap();
+        let base = colind.len();
+        for w in block.rowptr().windows(2) {
+            rowptr.push(base + w[1]);
+        }
+        colind.extend_from_slice(block.colind());
+        vals.extend_from_slice(block.vals());
+    }
+    let reassembled = Csr::from_raw(a.nrows(), a.ncols(), rowptr, colind, vals);
+    assert_eq!(reassembled, a);
+}
