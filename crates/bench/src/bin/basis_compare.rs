@@ -1,0 +1,278 @@
+//! Basis-comparison experiment: monomial vs. fixed Newton vs. adaptive
+//! Newton bases across step sizes `s ∈ {2, 4, 6, 8, 10}` on the 2-D Laplace
+//! stencil and the SuiteSparse-like surrogates, writing `BENCH_basis.json`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin basis_compare          # full sweep
+//! BENCH_QUICK=1 cargo run -p bench --release --bin basis_compare   # CI mode
+//! ```
+//!
+//! Per (matrix, s, basis) the experiment records:
+//!
+//! * `kappa` — condition number of the column-normalized `s+1`-column
+//!   matrix-powers basis ([`ssgmres::shifts::basis_condition_number`],
+//!   Jacobi SVD) under the shifts that basis actually uses;
+//! * `iterations` / `restarts` / `converged` — a full two-stage solve;
+//! * `ortho_fallbacks` — shifted-CholQR remedial passes the two-stage
+//!   orthogonalization had to take (a conditioning distress signal);
+//! * `allreduces_total` / `allreduces_ortho` — reduction counts, which must
+//!   be *identical* across bases for identical iteration counts (shifts are
+//!   applied locally; harvesting reads the replicated Hessenberg).
+//!
+//! The headline acceptance check (asserted here and pinned as a regression
+//! in `tests/solver_cross_crate.rs`): at `s = 8` on the 2-D Laplace stencil
+//! the adaptive Newton basis has strictly lower `kappa` than monomial.
+
+use sparse::{laplace2d_5pt, scale_rows_cols_by_max, suitesparse_surrogate, Csr, SUITE_SPARSE_SET};
+use ssgmres::{
+    AdaptiveBasis, BasisStrategy, GmresConfig, KrylovBasis, OrthoKind, SStepGmres, SolveResult,
+};
+use std::fmt::Write as _;
+
+struct Row {
+    matrix: String,
+    n: usize,
+    s: usize,
+    basis: &'static str,
+    kappa: f64,
+    iterations: usize,
+    restarts: usize,
+    converged: bool,
+    ortho_fallbacks: usize,
+    allreduces_total: usize,
+    allreduces_ortho: usize,
+    num_shifts: usize,
+}
+
+fn quick() -> bool {
+    matches!(
+        std::env::var("BENCH_QUICK").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+fn config(s: usize, restart: usize, basis: BasisStrategy, max_iters: usize) -> GmresConfig {
+    GmresConfig {
+        restart,
+        step_size: s,
+        tol: 1e-6,
+        max_iters,
+        ortho: OrthoKind::TwoStage { big_panel: restart },
+        basis,
+        ..GmresConfig::default()
+    }
+}
+
+/// Harvest fixed Newton shifts from a short warm-up cycle at a conservative
+/// step size (the monomial warm-up must itself survive, so it runs at
+/// `min(s, 4)`), capped at `s` shifts.
+fn warmup_shifts(a: &Csr, b: &[f64], s: usize, restart: usize) -> Option<Vec<f64>> {
+    let warm = SStepGmres::new(GmresConfig {
+        max_restarts: 1,
+        tol: 1e-30,
+        ..config(
+            s.min(4),
+            restart,
+            BasisStrategy::Adaptive(AdaptiveBasis {
+                max_shifts: s,
+                ..AdaptiveBasis::default()
+            }),
+            10_000,
+        )
+    })
+    .solve_serial(a, b)
+    .1;
+    warm.last_harvest
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    rows: &mut Vec<Row>,
+    matrix: &str,
+    a: &Csr,
+    b: &[f64],
+    s: usize,
+    basis: &'static str,
+    shifts: &[f64],
+    result: &SolveResult,
+) {
+    let measured = if shifts.is_empty() {
+        KrylovBasis::Monomial
+    } else {
+        KrylovBasis::Newton {
+            shifts: shifts.to_vec(),
+        }
+    };
+    let kappa = ssgmres::shifts::basis_condition_number(a, &measured, s, b);
+    rows.push(Row {
+        matrix: matrix.to_string(),
+        n: a.nrows(),
+        s,
+        basis,
+        kappa,
+        iterations: result.iterations,
+        restarts: result.restarts,
+        converged: result.converged,
+        ortho_fallbacks: result.ortho_fallbacks,
+        allreduces_total: result.comm_total.allreduces,
+        allreduces_ortho: result.comm_ortho.allreduces,
+        num_shifts: shifts.len(),
+    });
+}
+
+fn run_matrix(rows: &mut Vec<Row>, name: &str, a: &Csr, svals: &[usize], max_iters: usize) {
+    let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
+    for &s in svals {
+        let restart = 30.max(3 * s);
+        // Monomial.
+        let mono = SStepGmres::new(config(s, restart, BasisStrategy::Monomial, max_iters))
+            .solve_serial(a, &b)
+            .1;
+        record(rows, name, a, &b, s, "monomial", &[], &mono);
+        // Fixed Newton shifts from a warm-up oracle.  When the oracle
+        // yields nothing (warm-up breakdown, or every Ritz value deduped
+        // to zero) a "newton" row would be a bitwise duplicate of the
+        // monomial one under a misleading label — skip it instead.
+        match warmup_shifts(a, &b, s, restart) {
+            Some(fixed) if !fixed.is_empty() => {
+                let newton = SStepGmres::new(config(
+                    s,
+                    restart,
+                    BasisStrategy::Newton {
+                        shifts: fixed.clone(),
+                    },
+                    max_iters,
+                ))
+                .solve_serial(a, &b)
+                .1;
+                record(rows, name, a, &b, s, "newton", &fixed, &newton);
+            }
+            _ => eprintln!("  {name}: s={s} warm-up harvest failed; skipping the newton row"),
+        }
+        // Adaptive: in-solver re-harvesting after every restart.
+        let adaptive = SStepGmres::new(config(s, restart, BasisStrategy::adaptive(), max_iters))
+            .solve_serial(a, &b)
+            .1;
+        let harvested = adaptive.last_harvest.clone().unwrap_or_default();
+        record(rows, name, a, &b, s, "adaptive", &harvested, &adaptive);
+        eprintln!("  {name}: s={s} done");
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"basis_compare\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"matrix\": \"{}\", \"n\": {}, \"s\": {}, \"basis\": \"{}\", \"kappa\": {}, \"iterations\": {}, \"restarts\": {}, \"converged\": {}, \"ortho_fallbacks\": {}, \"allreduces_total\": {}, \"allreduces_ortho\": {}, \"num_shifts\": {}}}",
+            r.matrix,
+            r.n,
+            r.s,
+            r.basis,
+            json_f64(r.kappa),
+            r.iterations,
+            r.restarts,
+            r.converged,
+            r.ortho_fallbacks,
+            r.allreduces_total,
+            r.allreduces_ortho,
+            r.num_shifts
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = quick();
+    let svals: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8, 10] };
+    let (lap_nx, surrogate_n, max_iters) = if quick {
+        (30usize, Some(1_200usize), 10_000usize)
+    } else {
+        (40, Some(2_000), 30_000)
+    };
+    let mut rows = Vec::new();
+
+    eprintln!("2-D Laplace stencil ({lap_nx}x{lap_nx}) ...");
+    let lap = laplace2d_5pt(lap_nx, lap_nx);
+    run_matrix(&mut rows, "laplace2d_5pt", &lap, svals, max_iters);
+
+    let surrogate_names: &[&str] = if quick {
+        &["atmosmodl"]
+    } else {
+        &["atmosmodl", "ecology2", "thermal2"]
+    };
+    for name in surrogate_names {
+        if let Some(spec) = SUITE_SPARSE_SET.iter().find(|s| s.name == *name) {
+            eprintln!("suitelike surrogate {name} ...");
+            let raw = suitesparse_surrogate(spec, surrogate_n, 9);
+            let (a, _, _) = scale_rows_cols_by_max(&raw);
+            run_matrix(&mut rows, name, &a, svals, max_iters);
+        }
+    }
+
+    let header = [
+        "matrix", "n", "s", "basis", "kappa", "iters", "restarts", "conv", "fallbk", "reduces",
+        "#shifts",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.n.to_string(),
+                r.s.to_string(),
+                r.basis.to_string(),
+                bench::sci(r.kappa),
+                r.iterations.to_string(),
+                r.restarts.to_string(),
+                r.converged.to_string(),
+                r.ortho_fallbacks.to_string(),
+                r.allreduces_ortho.to_string(),
+                r.num_shifts.to_string(),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "basis comparison: monomial vs newton vs adaptive",
+        &header,
+        &table,
+    );
+
+    let json = write_json(&rows, quick);
+    std::fs::write("BENCH_basis.json", &json).expect("write BENCH_basis.json");
+    eprintln!("wrote BENCH_basis.json ({} rows)", rows.len());
+
+    // Headline acceptance check: s = 8 on the Laplace stencil, the adaptive
+    // Newton basis must be strictly better conditioned than monomial.
+    let find = |basis: &str| {
+        rows.iter()
+            .find(|r| r.matrix == "laplace2d_5pt" && r.s == 8 && r.basis == basis)
+            .map(|r| r.kappa)
+    };
+    if let (Some(mono), Some(adaptive)) = (find("monomial"), find("adaptive")) {
+        println!(
+            "\nheadline: s=8 laplace2d kappa(monomial) = {}, kappa(adaptive) = {} ({:.1}x lower)",
+            bench::sci(mono),
+            bench::sci(adaptive),
+            mono / adaptive
+        );
+        assert!(
+            adaptive < mono,
+            "acceptance: adaptive basis must be strictly better conditioned at s=8 on laplace2d"
+        );
+    }
+}

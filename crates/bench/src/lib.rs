@@ -14,6 +14,8 @@
 //! | `fig10_12` | Figs. 10–12 — orthogonalization time breakdowns |
 //! | `table04` | Table IV — time/iteration for 3D model problems & SuiteSparse surrogates |
 //! | `fig13` | Fig. 13 — time/iteration with a Gauss–Seidel preconditioner |
+//! | `basis_compare` | Extension — monomial vs. Newton vs. adaptive basis conditioning (`BENCH_basis.json`) |
+//! | `kernels` | Kernel baselines — blocked vs. naive BLAS-3 (`BENCH_kernels.json`) |
 //!
 //! Every binary prints a plain-text table with the same rows/series as the
 //! paper and accepts the environment variable `REPRO_SCALE` (default

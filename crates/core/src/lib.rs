@@ -6,9 +6,11 @@
 //! * **standard GMRES** — step size `s = 1` with column-wise CGS2
 //!   orthogonalization (the "GMRES + CGS2" baseline of Table III);
 //! * **s-step GMRES** — a matrix-powers kernel generates `s` Krylov vectors
-//!   per outer step (monomial or Newton basis), which are then handed to one
-//!   of the block orthogonalization schemes of the [`blockortho`] crate
-//!   (BCGS2 with CholQR2, BCGS-PIP2, or the **two-stage** scheme);
+//!   per outer step (monomial or Newton basis — including the **adaptive**
+//!   Newton basis of [`shifts`], which harvests Leja-ordered Ritz shifts
+//!   after every restart), which are then handed to one of the block
+//!   orthogonalization schemes of the [`blockortho`] crate (BCGS2 with
+//!   CholQR2, BCGS-PIP2, or the **two-stage** scheme);
 //! * right preconditioning with the local preconditioners the paper uses
 //!   (Jacobi, block-Jacobi Gauss–Seidel, multicolor Gauss–Seidel, and a
 //!   polynomial preconditioner as an extension).
@@ -38,9 +40,10 @@
 pub mod basis;
 pub mod hessenberg;
 pub mod precond;
+pub mod shifts;
 pub mod solver;
 
-pub use basis::KrylovBasis;
+pub use basis::{AdaptiveBasis, BasisStrategy, KrylovBasis};
 pub use hessenberg::HessenbergRecovery;
 pub use precond::{
     BlockJacobiGaussSeidel, Identity, Jacobi, MulticolorGaussSeidel, Polynomial, Preconditioner,

@@ -1,8 +1,9 @@
 //! The restarted s-step GMRES solver (Fig. 1 / Fig. 5 of the paper).
 
-use crate::basis::KrylovBasis;
+use crate::basis::{BasisStrategy, KrylovBasis};
 use crate::hessenberg::HessenbergRecovery;
 use crate::precond::{Identity, Preconditioner};
+use crate::shifts;
 use blockortho::{make_orthogonalizer, OrthoKind};
 use dense::Matrix;
 use distsim::{CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, SerialComm};
@@ -26,8 +27,9 @@ pub struct GmresConfig {
     pub max_restarts: usize,
     /// Block orthogonalization scheme.
     pub ortho: OrthoKind,
-    /// Krylov basis used by the matrix-powers kernel.
-    pub basis: KrylovBasis,
+    /// Krylov basis policy of the matrix-powers kernel (fixed monomial or
+    /// Newton shifts, adaptive Ritz harvesting, or a replayed schedule).
+    pub basis: BasisStrategy,
 }
 
 impl Default for GmresConfig {
@@ -39,7 +41,7 @@ impl Default for GmresConfig {
             max_iters: 500_000,
             max_restarts: usize::MAX,
             ortho: OrthoKind::BcgsPip2,
-            basis: KrylovBasis::Monomial,
+            basis: BasisStrategy::Monomial,
         }
     }
 }
@@ -74,6 +76,20 @@ pub struct SolveResult {
     pub comm_total: CommStatsSnapshot,
     /// Communication attributable to block orthogonalization only.
     pub comm_ortho: CommStatsSnapshot,
+    /// True relative residual after each completed restart cycle.
+    pub relres_history: Vec<f64>,
+    /// Newton shifts in effect for each started cycle (empty = monomial).
+    /// Feeding this back through [`BasisStrategy::Scheduled`] replays the
+    /// solve bitwise.
+    pub shift_history: Vec<Vec<f64>>,
+    /// The most recent successful Ritz-shift harvest (recorded for every
+    /// strategy; only [`BasisStrategy::Adaptive`] acts on it).  Lets a
+    /// short warm-up solve serve as a shift oracle for a later fixed-shift
+    /// [`BasisStrategy::Newton`] run.
+    pub last_harvest: Option<Vec<f64>>,
+    /// Total shifted-CholQR fallbacks the orthogonalization took across all
+    /// cycles (nonzero only for schemes with a remedial path).
+    pub ortho_fallbacks: usize,
 }
 
 /// The restarted s-step GMRES solver.
@@ -182,6 +198,14 @@ impl SStepGmres {
         let mut precond_count = 0usize;
         let mut breakdown: Option<String> = None;
         let mut converged = false;
+        // Basis policy state: the basis in effect for the current cycle,
+        // plus the per-cycle record that makes a solve replayable.
+        let mut current_basis = self.config.basis.initial_basis();
+        let mut cycles_started = 0usize;
+        let mut shift_history: Vec<Vec<f64>> = Vec::new();
+        let mut relres_history: Vec<f64> = Vec::new();
+        let mut last_harvest: Option<Vec<f64>> = None;
+        let mut ortho_fallbacks = 0usize;
 
         // Reusable buffers.
         let mut basis =
@@ -204,6 +228,10 @@ impl SStepGmres {
                 precond_count,
                 comm_total: comm.stats().snapshot().since(&stats_start),
                 comm_ortho,
+                relres_history: Vec::new(),
+                shift_history: Vec::new(),
+                last_harvest: None,
+                ortho_fallbacks: 0,
             };
         }
         let target = self.config.tol * r0_norm;
@@ -216,6 +244,16 @@ impl SStepGmres {
                 converged = true;
                 break;
             }
+            // Select this cycle's basis and record it (the record is what
+            // BasisStrategy::Scheduled replays).
+            if let BasisStrategy::Scheduled { per_cycle } = &self.config.basis {
+                current_basis = BasisStrategy::scheduled_basis(per_cycle, cycles_started);
+            }
+            shift_history.push(match &current_basis {
+                KrylovBasis::Monomial => Vec::new(),
+                KrylovBasis::Newton { shifts } => shifts.clone(),
+            });
+            cycles_started += 1;
             // Start a new cycle: column 0 = r/γ.
             for entry in r_factor.data_mut().iter_mut() {
                 *entry = 0.0;
@@ -250,7 +288,7 @@ impl SStepGmres {
                     precond_count += 1;
                     a.spmv(&z, &mut w);
                     spmv_count += 1;
-                    let theta = self.config.basis.shift(input);
+                    let theta = current_basis.shift(input);
                     if theta != 0.0 {
                         let u = basis.local().col(input).to_vec();
                         for (wi, ui) in w.iter_mut().zip(&u) {
@@ -283,7 +321,7 @@ impl SStepGmres {
                         finalized - 1,
                         &r_factor,
                         ortho.stored_basis_coeffs(),
-                        &self.config.basis,
+                        &current_basis,
                     );
                     let (_, res_est) = hess.least_squares(finalized - 1, gamma);
                     if res_est <= target {
@@ -302,6 +340,7 @@ impl SStepGmres {
                 consecutive_breakdowns += 1;
             }
             comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
+            ortho_fallbacks += ortho.fallback_count();
             let finalized = ortho.finalized_cols().unwrap_or(cols).min(cols);
             let k_use = finalized.saturating_sub(1);
             if k_use == 0 {
@@ -312,6 +351,12 @@ impl SStepGmres {
                 if no_progress_cycles >= 2 || consecutive_breakdowns >= 3 {
                     break 'outer;
                 }
+                // An empty cycle yields no Hessenberg to harvest from; the
+                // adaptive policy retries the next cycle with the monomial
+                // basis (the shifts may be what broke the panel).
+                if matches!(self.config.basis, BasisStrategy::Adaptive(_)) {
+                    current_basis = KrylovBasis::Monomial;
+                }
                 restarts += 1;
                 continue;
             }
@@ -320,8 +365,36 @@ impl SStepGmres {
                 k_use,
                 &r_factor,
                 ortho.stored_basis_coeffs(),
-                &self.config.basis,
+                &current_basis,
             );
+            // Harvest Ritz shifts from this cycle's Hessenberg block.  The
+            // block is replicated (recovered from the replicated R factor),
+            // so every rank computes identical shifts with zero extra
+            // communication; only the adaptive policy acts on the result,
+            // but the harvest is recorded for every strategy so a warm-up
+            // solve can serve as a shift oracle.
+            let (cap, rtol, min_h) = match &self.config.basis {
+                BasisStrategy::Adaptive(a) => (
+                    if a.max_shifts == 0 { s } else { a.max_shifts },
+                    a.dedup_rtol,
+                    a.min_hessenberg,
+                ),
+                _ => (s, shifts::DEFAULT_DEDUP_RTOL, 2),
+            };
+            let harvest = if k_use >= min_h.max(1) {
+                shifts::harvest_newton_shifts(&hess, k_use, cap, rtol)
+            } else {
+                None
+            };
+            if let Some(h) = &harvest {
+                last_harvest = Some(h.clone());
+            }
+            if matches!(self.config.basis, BasisStrategy::Adaptive(_)) {
+                current_basis = match harvest {
+                    Some(shifts) => KrylovBasis::Newton { shifts },
+                    None => KrylovBasis::Monomial,
+                };
+            }
             let (y, _) = hess.least_squares(k_use, gamma);
             // Solution update: x ← x + M⁻¹·(Q_{0..k_use}·y).
             let mut qy = vec![0.0; nloc];
@@ -335,6 +408,7 @@ impl SStepGmres {
             // True residual for the next cycle / convergence verification.
             residual = compute_residual(a, x_local, b_local, &mut spmv_count);
             gamma = global_norm(&residual, comm.as_ref());
+            relres_history.push(gamma / r0_norm);
             if gamma <= target {
                 converged = true;
                 break;
@@ -358,6 +432,10 @@ impl SStepGmres {
             precond_count,
             comm_total: comm.stats().snapshot().since(&stats_start),
             comm_ortho,
+            relres_history,
+            shift_history,
+            last_harvest,
+            ortho_fallbacks,
         }
     }
 }

@@ -1,0 +1,198 @@
+//! Property tests of the modified Leja ordering and the shift pipeline
+//! (`ssgmres::shifts`) — the invariants the adaptive Newton basis relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ssgmres::shifts::{dedupe_points, modified_leja_order, newton_shifts, SpectralPoint};
+
+/// Deterministic point cloud: a mix of real points and conjugate pairs.
+fn point_cloud(seed: u64, n_real: usize, n_pairs: usize) -> Vec<SpectralPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for _ in 0..n_real {
+        let re = (rng.random::<u64>() % 2_001) as f64 / 100.0 - 10.0;
+        pts.push((re, 0.0));
+    }
+    for _ in 0..n_pairs {
+        let re = (rng.random::<u64>() % 2_001) as f64 / 100.0 - 10.0;
+        let im = (rng.random::<u64>() % 1_000 + 1) as f64 / 100.0;
+        pts.push((re, im));
+        pts.push((re, -im));
+    }
+    pts
+}
+
+/// Shuffle a copy of `pts` with a seeded Fisher–Yates.
+fn shuffled(pts: &[SpectralPoint], seed: u64) -> Vec<SpectralPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = pts.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn sorted(mut v: Vec<SpectralPoint>) -> Vec<SpectralPoint> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+fn modulus(z: SpectralPoint) -> f64 {
+    z.0.hypot(z.1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn leja_output_is_a_permutation_of_the_input(
+        seed in 0u64..10_000,
+        n_real in 0usize..8,
+        n_pairs in 0usize..4,
+    ) {
+        let pts = point_cloud(seed, n_real, n_pairs);
+        let ordered = modified_leja_order(&pts);
+        prop_assert_eq!(ordered.len(), pts.len());
+        // Same multiset: equality after canonical sorting (the generator
+        // never produces NaN, and ties are exact-value duplicates).
+        prop_assert_eq!(sorted(ordered), sorted(pts));
+    }
+
+    #[test]
+    fn leja_keeps_conjugate_pairs_adjacent(
+        seed in 0u64..10_000,
+        n_real in 0usize..6,
+        n_pairs in 1usize..5,
+    ) {
+        let pts = point_cloud(seed, n_real, n_pairs);
+        let ordered = modified_leja_order(&pts);
+        let mut i = 0;
+        while i < ordered.len() {
+            let (re, im) = ordered[i];
+            if im != 0.0 {
+                prop_assert!(i + 1 < ordered.len(), "pair member last: {ordered:?}");
+                prop_assert_eq!(ordered[i + 1], (re, -im));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn leja_first_point_has_max_modulus(
+        seed in 0u64..10_000,
+        n_real in 1usize..8,
+        n_pairs in 0usize..4,
+    ) {
+        let pts = point_cloud(seed, n_real, n_pairs);
+        let ordered = modified_leja_order(&pts);
+        let max_mod = pts.iter().map(|&z| modulus(z)).fold(0.0f64, f64::max);
+        prop_assert!(
+            modulus(ordered[0]) >= max_mod - 1e-15 * max_mod.max(1.0),
+            "first {:?} has modulus {} < max {}",
+            ordered[0], modulus(ordered[0]), max_mod
+        );
+    }
+
+    #[test]
+    fn leja_ordering_is_permutation_invariant_even_with_ties(
+        seed in 0u64..10_000,
+        n_real in 1usize..6,
+        n_pairs in 0usize..3,
+        shuffle_seed in 0u64..1_000,
+    ) {
+        // Inject exact duplicates (ties in both modulus and distance
+        // products), then present the same multiset in a different order:
+        // the output must be identical, element for element.
+        let mut pts = point_cloud(seed, n_real, n_pairs);
+        let dup = pts[0];
+        pts.push(dup);
+        let a = modified_leja_order(&pts);
+        let b = modified_leja_order(&shuffled(&pts, shuffle_seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dedupe_preserves_conjugate_closure_and_shrinks_clusters(
+        seed in 0u64..10_000,
+        n_real in 0usize..6,
+        n_pairs in 0usize..4,
+    ) {
+        let mut pts = point_cloud(seed, n_real, n_pairs);
+        // Add a tight cluster around the first point (if any).
+        if let Some(&(re, im)) = pts.first() {
+            pts.push((re + 1e-13, im));
+        }
+        let out = dedupe_points(&pts, 1e-8);
+        prop_assert!(out.len() <= pts.len());
+        for &(re, im) in &out {
+            if im != 0.0 {
+                prop_assert!(
+                    out.contains(&(re, -im)),
+                    "conjugate closure broken: {out:?}"
+                );
+            }
+        }
+        // Deduplication is idempotent.
+        prop_assert_eq!(dedupe_points(&out, 1e-8), out);
+    }
+
+    #[test]
+    fn newton_shifts_never_split_a_pair_and_respect_the_cap(
+        seed in 0u64..10_000,
+        n_real in 1usize..6,
+        n_pairs in 0usize..4,
+        cap in 1usize..12,
+    ) {
+        let pts = point_cloud(seed, n_real, n_pairs);
+        if let Some(shifts) = newton_shifts(&pts, cap, 1e-8) {
+            prop_assert!(shifts.len() <= cap);
+            prop_assert!(!shifts.is_empty());
+            prop_assert!(shifts.iter().any(|&s| s != 0.0));
+            // The shifts are the real parts of a prefix of the Leja-ordered
+            // deduped points, and every conjugate pair member inside that
+            // prefix has its mirror inside it too (no pair is split by the
+            // cap) — so a pair always contributes its real part twice, in
+            // adjacent positions.
+            let ordered = modified_leja_order(&dedupe_points(&pts, 1e-8));
+            let prefix = &ordered[..shifts.len()];
+            for (i, &s) in shifts.iter().enumerate() {
+                prop_assert!(
+                    s == prefix[i].0,
+                    "shift {i} ({s}) is not the prefix real part ({})",
+                    prefix[i].0
+                );
+            }
+            for (i, &(re, im)) in prefix.iter().enumerate() {
+                if im != 0.0 {
+                    let partner = if im > 0.0 { i + 1 } else { i.wrapping_sub(1) };
+                    prop_assert!(
+                        partner < prefix.len() && prefix[partner] == (re, -im),
+                        "pair member ({re}, {im}) at {i} lacks its adjacent mirror: {prefix:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn leja_order_of_empty_and_singleton_inputs() {
+    assert!(modified_leja_order(&[]).is_empty());
+    assert_eq!(modified_leja_order(&[(2.5, 0.0)]), vec![(2.5, 0.0)]);
+}
+
+#[test]
+fn leja_order_known_sequence_on_symmetric_reals() {
+    // On {-2, -1, 0, 1, 2} the modified Leja order starts at an extreme
+    // (±2; the deterministic tie-break picks +2), then the opposite extreme,
+    // then the midpoint.
+    let pts: Vec<SpectralPoint> = (-2..=2).map(|k| (k as f64, 0.0)).collect();
+    let ordered = modified_leja_order(&pts);
+    assert_eq!(ordered[0], (2.0, 0.0));
+    assert_eq!(ordered[1], (-2.0, 0.0));
+    assert_eq!(ordered[2], (0.0, 0.0));
+}

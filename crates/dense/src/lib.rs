@@ -19,7 +19,9 @@
 //! * Householder QR for tall-skinny panels in [`qr`];
 //! * a cyclic Jacobi symmetric eigensolver in [`eig`] used to measure
 //!   condition numbers and orthogonality errors exactly as the paper's
-//!   MATLAB experiments do;
+//!   MATLAB experiments do, plus a double-shift QR eigensolver for the real
+//!   Hessenberg matrices the Newton-shift harvester extracts Ritz values
+//!   from;
 //! * small upper-triangular utilities in [`tri`] and Givens/least-squares
 //!   helpers for the Hessenberg solve in [`lsq`].
 //!
@@ -44,7 +46,7 @@ pub use blas3::{
     ROW_BLOCK, TILE,
 };
 pub use chol::{cholesky_upper, shifted_cholesky_upper, CholeskyError};
-pub use eig::{sym_eig_jacobi, sym_eigvals};
+pub use eig::{hessenberg_eigvals, sym_eig_jacobi, sym_eigvals, HessEigError};
 pub use lsq::{givens_rotation, hessenberg_lsq, qr_lsq};
 pub use matrix::{MatView, MatViewMut, Matrix};
 pub use measure::{

@@ -56,6 +56,14 @@ pub trait BlockOrthogonalizer {
         None
     }
 
+    /// Number of times the scheme had to fall back to a more expensive
+    /// remedial kernel (the two-stage scheme's shifted-CholQR path) since
+    /// construction or the last [`reset`](Self::reset).  `0` for schemes
+    /// without a fallback path.
+    fn fallback_count(&self) -> usize {
+        0
+    }
+
     /// Reset internal state at the start of a new restart cycle.
     fn reset(&mut self) {}
 }

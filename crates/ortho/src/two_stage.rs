@@ -44,6 +44,9 @@ pub struct TwoStage {
     /// (identity for columns of completed big panels; the stage-2 T factor
     /// for columns that were pre-processed when used as MPK inputs).
     coeffs: Matrix,
+    /// Number of shifted-CholQR fallbacks taken (either stage) since
+    /// construction or the last reset.
+    fallbacks: usize,
 }
 
 impl TwoStage {
@@ -57,6 +60,7 @@ impl TwoStage {
             big_start: 0,
             processed_end: 0,
             coeffs: Matrix::identity(total_cols),
+            fallbacks: 0,
         }
     }
 
@@ -85,6 +89,7 @@ impl TwoStage {
         let (t_prev, t_bp) = match bcgs_pip(basis, prev.clone(), bp.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
+                self.fallbacks += 1;
                 shifted_bcgs_pip2(basis, prev.clone(), bp.clone())?
             }
             Err(other) => return Err(other),
@@ -191,6 +196,7 @@ impl BlockOrthogonalizer for TwoStage {
         let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
+                self.fallbacks += 1;
                 shifted_bcgs_pip2(basis, prev.clone(), new.clone()).map_err(|e| match e {
                     OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
                         context: "two-stage first stage (panel pre-processing)",
@@ -224,10 +230,15 @@ impl BlockOrthogonalizer for TwoStage {
         Some(self.big_start)
     }
 
+    fn fallback_count(&self) -> usize {
+        self.fallbacks
+    }
+
     fn reset(&mut self) {
         self.big_start = 0;
         self.processed_end = 0;
         self.coeffs = Matrix::identity(self.total_cols);
+        self.fallbacks = 0;
     }
 }
 

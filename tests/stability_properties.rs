@@ -202,6 +202,104 @@ proptest! {
     }
 
     #[test]
+    fn newton_basis_conditioning_dominates_monomial_for_large_s(
+        seed in 0u64..1_000,
+        nx in 12usize..20,
+        s in 6usize..10,
+    ) {
+        // On a stencil with known spectrum (2-D Laplacian: eigenvalues
+        // λ_{ij} = 4 − 2cos(iπ/(nx+1)) − 2cos(jπ/(nx+1))), Leja-ordered
+        // exact-spectrum shifts must keep the matrix-powers basis at least
+        // as well conditioned as the monomial basis for every s ≥ 6 — the
+        // regime where the monomial basis degrades exponentially.
+        let a = sparse::laplace2d_5pt(nx, nx);
+        let v0 = testmat::random_unit_vector(a.nrows(), seed);
+        let lam = |k: usize| {
+            2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (nx + 1) as f64).cos()
+        };
+        let mut spectrum = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                spectrum.push((lam(i) + lam(j), 0.0));
+            }
+        }
+        let shifts = ssgmres::shifts::newton_shifts(&spectrum, s, 1e-6)
+            .expect("Laplace spectrum yields shifts");
+        let kappa_mono = ssgmres::shifts::basis_condition_number(
+            &a, &ssgmres::KrylovBasis::Monomial, s, &v0);
+        let kappa_newton = ssgmres::shifts::basis_condition_number(
+            &a, &ssgmres::KrylovBasis::Newton { shifts }, s, &v0);
+        prop_assert!(
+            kappa_newton <= kappa_mono,
+            "s={s} nx={nx}: κ(newton) {kappa_newton:.3e} > κ(monomial) {kappa_mono:.3e}"
+        );
+    }
+
+    #[test]
+    fn two_stage_orthogonality_stays_o_eps_under_both_bases(
+        seed in 0u64..1_000,
+        s in 6usize..9,
+    ) {
+        // The two-stage scheme's O(ε) loss of orthogonality must hold
+        // whichever basis feeds it: run the MPK + two-stage interleaving on
+        // the Laplace stencil under the monomial basis and under
+        // exact-spectrum Leja shifts, and check ‖I − QᵀQ‖ after finish.
+        let nx = 14;
+        let a = sparse::laplace2d_5pt(nx, nx);
+        let m = 3 * s;
+        let lam = |k: usize| {
+            2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (nx + 1) as f64).cos()
+        };
+        let mut spectrum = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                spectrum.push((lam(i) + lam(j), 0.0));
+            }
+        }
+        let newton_shifts = ssgmres::shifts::newton_shifts(&spectrum, s, 1e-6).unwrap();
+        for basis in [
+            ssgmres::KrylovBasis::Monomial,
+            ssgmres::KrylovBasis::Newton { shifts: newton_shifts.clone() },
+        ] {
+            let mut mv = distsim::DistMultiVector::from_matrix(
+                distsim::SerialComm::new(),
+                Matrix::zeros(a.nrows(), m + 1),
+            );
+            let v0 = testmat::random_unit_vector(a.nrows(), seed);
+            mv.local_mut().col_mut(0).copy_from_slice(&v0);
+            let mut r = Matrix::zeros(m + 1, m + 1);
+            let mut ts = blockortho::TwoStage::new(m + 1, m + 1);
+            use blockortho::BlockOrthogonalizer;
+            ts.orthogonalize_panel(&mut mv, 0..1, &mut r).expect("column 0");
+            let mut cols = 1usize;
+            while cols < m + 1 {
+                let k = s.min(m + 1 - cols);
+                for t in 0..k {
+                    let input = mv.local().col(cols - 1 + t).to_vec();
+                    let mut next = a.spmv_alloc(&input);
+                    let theta = basis.shift(cols - 1 + t);
+                    if theta != 0.0 {
+                        for (wi, ui) in next.iter_mut().zip(&input) {
+                            *wi -= theta * ui;
+                        }
+                    }
+                    mv.local_mut().col_mut(cols + t).copy_from_slice(&next);
+                }
+                ts.orthogonalize_panel(&mut mv, cols..cols + k, &mut r)
+                    .unwrap_or_else(|e| panic!("{basis:?}: panel {cols}: {e}"));
+                cols += k;
+            }
+            ts.finish(&mut mv, &mut r)
+                .unwrap_or_else(|e| panic!("{basis:?}: finish: {e}"));
+            let err = orthogonality_error(&mv.local().cols(0..m + 1));
+            prop_assert!(
+                err < 1e-11,
+                "{basis:?} s={s}: two-stage loss of orthogonality {err:.2e} not O(ε)"
+            );
+        }
+    }
+
+    #[test]
     fn gmres_residual_never_increases_across_restarts(
         nx in 8usize..16,
         s in 1usize..6,
