@@ -5,7 +5,14 @@
 //! ```sh
 //! cargo run -p bench --release --bin basis_compare          # full sweep
 //! BENCH_QUICK=1 cargo run -p bench --release --bin basis_compare   # CI mode
+//! cargo run -p bench --release --bin basis_compare -- --matrix A.mtx --partition nnz
 //! ```
+//!
+//! With `--matrix <path.mtx>` the sweep runs on that file instead of the
+//! built-in problems (streamed through `read_matrix_market_row_block`, so
+//! only one row block is ever materialized per pass); `--partition nnz`
+//! reports the `nnz_counting_pass`-balanced row partition next to the
+//! default block partition.
 //!
 //! Per (matrix, s, basis) the experiment records:
 //!
@@ -197,6 +204,14 @@ fn write_json(rows: &[Row], quick: bool) -> String {
 }
 
 fn main() {
+    let args = match bench::cli::parse_matrix_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("basis_compare: {e}");
+            eprintln!("usage: basis_compare [--matrix <path.mtx>] [--partition block|nnz]");
+            std::process::exit(2);
+        }
+    };
     let quick = quick();
     let svals: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8, 10] };
     let (lap_nx, surrogate_n, max_iters) = if quick {
@@ -206,21 +221,43 @@ fn main() {
     };
     let mut rows = Vec::new();
 
-    eprintln!("2-D Laplace stencil ({lap_nx}x{lap_nx}) ...");
-    let lap = laplace2d_5pt(lap_nx, lap_nx);
-    run_matrix(&mut rows, "laplace2d_5pt", &lap, svals, max_iters);
-
-    let surrogate_names: &[&str] = if quick {
-        &["atmosmodl"]
+    if let Some(path) = &args.matrix {
+        // File mode: sweep the provided matrix only, streamed from disk.
+        let (name, a) = bench::cli::load_matrix_streamed(path).unwrap_or_else(|e| {
+            eprintln!("basis_compare: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("matrix {name} ({} rows, {} nnz) ...", a.nrows(), a.nnz());
+        let part = bench::cli::partition_rows(&a, args.partition, 4);
+        eprintln!(
+            "  {} partition over 4 ranks: per-rank nnz {:?}, imbalance {:.2}",
+            args.partition.label(),
+            bench::cli::per_rank_nnz(&a, &part),
+            bench::cli::partition_imbalance(&a, &part)
+        );
+        let file_svals: Vec<usize> = svals
+            .iter()
+            .copied()
+            .filter(|&s| 3 * s <= a.nrows())
+            .collect();
+        run_matrix(&mut rows, &name, &a, &file_svals, max_iters);
     } else {
-        &["atmosmodl", "ecology2", "thermal2"]
-    };
-    for name in surrogate_names {
-        if let Some(spec) = SUITE_SPARSE_SET.iter().find(|s| s.name == *name) {
-            eprintln!("suitelike surrogate {name} ...");
-            let raw = suitesparse_surrogate(spec, surrogate_n, 9);
-            let (a, _, _) = scale_rows_cols_by_max(&raw);
-            run_matrix(&mut rows, name, &a, svals, max_iters);
+        eprintln!("2-D Laplace stencil ({lap_nx}x{lap_nx}) ...");
+        let lap = laplace2d_5pt(lap_nx, lap_nx);
+        run_matrix(&mut rows, "laplace2d_5pt", &lap, svals, max_iters);
+
+        let surrogate_names: &[&str] = if quick {
+            &["atmosmodl"]
+        } else {
+            &["atmosmodl", "ecology2", "thermal2"]
+        };
+        for name in surrogate_names {
+            if let Some(spec) = SUITE_SPARSE_SET.iter().find(|s| s.name == *name) {
+                eprintln!("suitelike surrogate {name} ...");
+                let raw = suitesparse_surrogate(spec, surrogate_n, 9);
+                let (a, _, _) = scale_rows_cols_by_max(&raw);
+                run_matrix(&mut rows, name, &a, svals, max_iters);
+            }
         }
     }
 

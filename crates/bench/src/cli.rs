@@ -1,0 +1,185 @@
+//! Shared command-line plumbing for the experiment binaries: real Matrix
+//! Market inputs (streamed through [`sparse::mm::read_matrix_market_row_block`])
+//! and nnz-balanced row partitions (derived with
+//! [`sparse::nnz_counting_pass`]), so the binaries run the paper's actual
+//! SuiteSparse matrices instead of the built-in surrogates when a file is
+//! available.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin basis_compare -- --matrix path/to/A.mtx
+//! cargo run -p bench --release --bin robustness  -- --matrix A.mtx --partition nnz
+//! ```
+
+use sparse::{
+    block_row_partition, mm, nnz_balanced_partition_from_counts, nnz_counting_pass, Csr,
+    RowPartition,
+};
+use std::path::{Path, PathBuf};
+
+/// How the distributed experiments partition rows across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// Equal row counts per rank (the historical default).
+    Block,
+    /// Nonzero-balanced boundaries from a cheap counting pass
+    /// ([`sparse::nnz_counting_pass`]).
+    Nnz,
+}
+
+impl PartitionKind {
+    /// Label used in tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionKind::Block => "block",
+            PartitionKind::Nnz => "nnz",
+        }
+    }
+}
+
+/// Parsed matrix-related arguments shared by the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixArgs {
+    /// A Matrix Market file to run instead of the built-in problems.
+    pub matrix: Option<PathBuf>,
+    /// Row-partition strategy for the distributed checks.
+    pub partition: PartitionKind,
+}
+
+impl Default for MatrixArgs {
+    fn default() -> Self {
+        Self {
+            matrix: None,
+            partition: PartitionKind::Block,
+        }
+    }
+}
+
+/// Parse `--matrix <path.mtx>` and `--partition <block|nnz>` from an
+/// argument iterator (unrecognized arguments are an error, so typos fail
+/// loudly instead of silently running the default problem set).
+pub fn parse_matrix_args<I: Iterator<Item = String>>(args: I) -> Result<MatrixArgs, String> {
+    let mut out = MatrixArgs::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--matrix" => {
+                let path = args.next().ok_or("--matrix requires a path argument")?;
+                out.matrix = Some(PathBuf::from(path));
+            }
+            "--partition" => {
+                let kind = args.next().ok_or("--partition requires block|nnz")?;
+                out.partition = match kind.as_str() {
+                    "block" => PartitionKind::Block,
+                    "nnz" => PartitionKind::Nnz,
+                    other => return Err(format!("unknown partition kind '{other}' (block|nnz)")),
+                };
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Load a Matrix Market file through the **streaming** row-block reader
+/// (one pass over the file, `O(nnz)` peak memory, symmetric files
+/// mirrored).  Returns the file stem as the experiment's matrix name.
+pub fn load_matrix_streamed(path: &Path) -> Result<(String, Csr), String> {
+    let info = mm::read_matrix_market_info(path)
+        .map_err(|e| format!("{}: cannot read header: {e}", path.display()))?;
+    let a = mm::read_matrix_market_row_block(path, 0..info.nrows)
+        .map_err(|e| format!("{}: cannot stream rows: {e}", path.display()))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "matrix".to_string());
+    Ok((name, a))
+}
+
+/// Build the row partition for `nranks` ranks with the chosen strategy.
+/// The nnz-balanced path runs the counting pass over the matrix as a
+/// [`sparse::RowSource`], the same derivation the distributed constructors
+/// use.
+pub fn partition_rows(a: &Csr, kind: PartitionKind, nranks: usize) -> RowPartition {
+    match kind {
+        PartitionKind::Block => block_row_partition(a.nrows(), nranks),
+        PartitionKind::Nnz => {
+            let counts = nnz_counting_pass(&a);
+            nnz_balanced_partition_from_counts(&counts, nranks)
+        }
+    }
+}
+
+/// Per-rank nonzero counts under a partition.
+pub fn per_rank_nnz(a: &Csr, part: &RowPartition) -> Vec<usize> {
+    (0..part.nranks())
+        .map(|r| {
+            let (lo, hi) = part.range(r);
+            (lo..hi).map(|i| a.row(i).0.len()).sum()
+        })
+        .collect()
+}
+
+/// Largest per-rank nonzero count divided by the ideal `nnz / nranks`.
+pub fn partition_imbalance(a: &Csr, part: &RowPartition) -> f64 {
+    let per_rank = per_rank_nnz(a, part);
+    let total: usize = per_rank.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / part.nranks() as f64;
+    per_rank.iter().copied().max().unwrap_or(0) as f64 / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_flags_in_any_order() {
+        let args = ["--partition", "nnz", "--matrix", "a.mtx"]
+            .iter()
+            .map(|s| s.to_string());
+        let parsed = parse_matrix_args(args).unwrap();
+        assert_eq!(parsed.partition, PartitionKind::Nnz);
+        assert_eq!(parsed.matrix.as_deref(), Some(Path::new("a.mtx")));
+        assert_eq!(
+            parse_matrix_args(std::iter::empty()).unwrap(),
+            MatrixArgs::default()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_arguments_and_kinds() {
+        assert!(parse_matrix_args(["--oops".to_string()].into_iter()).is_err());
+        assert!(
+            parse_matrix_args(["--partition".to_string(), "fancy".to_string()].into_iter())
+                .is_err()
+        );
+        assert!(parse_matrix_args(["--matrix".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn nnz_partition_balances_a_skewed_matrix() {
+        // Rows 0..20 dense-ish, the rest nearly empty: block partitioning
+        // puts all the work on rank 0, nnz partitioning spreads it.
+        let n = 80;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let width = if i < 20 { 20 } else { 1 };
+            for k in 0..width {
+                triplets.push(sparse::Triplet {
+                    row: i,
+                    col: (i + k) % n,
+                    val: 1.0 + k as f64,
+                });
+            }
+        }
+        let a = Csr::from_triplets(n, n, &triplets);
+        let block = partition_rows(&a, PartitionKind::Block, 4);
+        let nnz = partition_rows(&a, PartitionKind::Nnz, 4);
+        assert!(partition_imbalance(&a, &nnz) < partition_imbalance(&a, &block));
+        assert!(partition_imbalance(&a, &nnz) <= 1.5);
+        let per_rank = per_rank_nnz(&a, &nnz);
+        assert_eq!(per_rank.iter().sum::<usize>(), a.nnz());
+    }
+}

@@ -26,6 +26,8 @@
 //! (CholQR/HHQR/BCGS-PIP, SpMV/GEMM, two-stage vs. one-stage, one GMRES
 //! iteration).
 
+pub mod cli;
+
 /// Experiment scale selected through the `REPRO_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

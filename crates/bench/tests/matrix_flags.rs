@@ -1,0 +1,121 @@
+//! File-fixture test of the `--matrix` / `--partition` plumbing: the
+//! committed `laplace_6x6.mtx` is driven through the `cli` helpers and
+//! through the actual `basis_compare` and `robustness` binaries
+//! (`CARGO_BIN_EXE_*`), checking that both accept the flags, run the
+//! streamed reader end to end, and write their JSON artifacts.
+
+use bench::cli::{self, PartitionKind};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("laplace_6x6.mtx")
+}
+
+/// A unique scratch directory (the binaries write their JSON to the cwd).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "two_stage_gmres_matrix_flags_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn streamed_loader_reproduces_the_generator_bitwise() {
+    let (name, a) = cli::load_matrix_streamed(&fixture()).expect("fixture must load");
+    assert_eq!(name, "laplace_6x6");
+    let reference = sparse::laplace2d_5pt(6, 6);
+    assert_eq!(a.nrows(), reference.nrows());
+    assert_eq!(a.nnz(), reference.nnz());
+    for i in 0..a.nrows() {
+        assert_eq!(a.row(i), reference.row(i), "row {i} differs");
+    }
+}
+
+#[test]
+fn nnz_partition_of_the_fixture_is_balanced() {
+    let (_, a) = cli::load_matrix_streamed(&fixture()).expect("fixture must load");
+    for nranks in [2usize, 3, 4] {
+        let part = cli::partition_rows(&a, PartitionKind::Nnz, nranks);
+        assert_eq!(part.nranks(), nranks);
+        assert_eq!(part.nrows(), a.nrows());
+        let imbalance = cli::partition_imbalance(&a, &part);
+        assert!(
+            imbalance <= 1.5,
+            "nranks {nranks}: imbalance {imbalance:.2} too high"
+        );
+        assert_eq!(cli::per_rank_nnz(&a, &part).iter().sum::<usize>(), a.nnz());
+    }
+}
+
+fn run_binary(exe: &str, tag: &str, expect_artifact: &str, expect_content: &str) {
+    let dir = scratch(tag);
+    let output = Command::new(exe)
+        .args([
+            "--matrix",
+            fixture().to_str().unwrap(),
+            "--partition",
+            "nnz",
+        ])
+        .env("BENCH_QUICK", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("binary must launch");
+    assert!(
+        output.status.success(),
+        "{tag} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let artifact = dir.join(expect_artifact);
+    let json = std::fs::read_to_string(&artifact)
+        .unwrap_or_else(|e| panic!("{tag}: missing {expect_artifact}: {e}"));
+    assert!(
+        json.contains(expect_content),
+        "{tag}: {expect_artifact} does not mention {expect_content}:\n{json}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn basis_compare_accepts_matrix_and_partition_flags() {
+    run_binary(
+        env!("CARGO_BIN_EXE_basis_compare"),
+        "basis_compare",
+        "BENCH_basis.json",
+        "laplace_6x6",
+    );
+}
+
+#[test]
+fn robustness_accepts_matrix_and_partition_flags() {
+    run_binary(
+        env!("CARGO_BIN_EXE_robustness"),
+        "robustness",
+        "BENCH_robustness.json",
+        "laplace_6x6",
+    );
+}
+
+#[test]
+fn binaries_reject_bad_flags() {
+    for exe in [
+        env!("CARGO_BIN_EXE_basis_compare"),
+        env!("CARGO_BIN_EXE_robustness"),
+    ] {
+        let output = Command::new(exe)
+            .args(["--matrix"])
+            .output()
+            .expect("binary must launch");
+        assert!(
+            !output.status.success(),
+            "{exe}: a missing --matrix value must be rejected"
+        );
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-cycle step-size control for the s-step solver.
+//!
+//! The monomial (and even a badly shifted Newton) matrix-powers basis can
+//! collapse at the *requested* step size — elasticity3d at `s = 8` breaks
+//! down in the very first panel — and "On the backward stability of s-step
+//! GMRES" (arXiv 2409.03079) shows the attainable accuracy is governed by
+//! the per-cycle basis conditioning.  Both mean an ill-conditioned panel is
+//! a **runtime signal to react to**, not a configuration error.  This
+//! module automates the README's manual warm-up shift-oracle pattern:
+//!
+//! * every restart cycle produces a [`CycleHealth`] report built entirely
+//!   from *replicated* data (the recovered R factor's diagonal, the
+//!   orthogonalizer's [`FallbackEvent`]s, the true-residual history), so
+//!   monitoring costs **zero additional global reductions**;
+//! * under [`StepPolicy::Auto`] the [`StepController`] **halves** the
+//!   effective step on a breakdown cycle (down to [`AutoStep::min_step`];
+//!   at `s = 1` the solver degenerates to safe standard GMRES panels),
+//!   lets the solver re-harvest Newton shifts from the surviving
+//!   reduced-step cycle, and **probes back up** (doubling, capped at the
+//!   requested `s`) after [`AutoStep::grow_after`] consecutive clean
+//!   cycles;
+//! * [`StepPolicy::Fixed`] (the default) never deviates from the
+//!   configured step — it is pinned bitwise-identical to the pre-controller
+//!   solver — and [`StepPolicy::Scheduled`] replays a recorded
+//!   [`crate::SolveResult::step_history`] verbatim, which is how the test
+//!   suite proves Auto's decisions cost nothing: an Auto solve replayed
+//!   through `Scheduled` steps + `Scheduled` shifts is bitwise identical,
+//!   communication counts included.
+
+use blockortho::FallbackEvent;
+use dense::Matrix;
+
+/// How the solver chooses the effective matrix-powers step size per cycle.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StepPolicy {
+    /// Every cycle runs at the configured [`crate::GmresConfig::step_size`]
+    /// (bitwise-identical to the solver before the controller existed).
+    #[default]
+    Fixed,
+    /// Monitor per-cycle health and shrink/regrow the effective step
+    /// (see [`StepController`]).
+    Auto(AutoStep),
+    /// Replay a recorded per-cycle step schedule: cycle `c` runs at
+    /// `per_cycle[c]` (the last entry is reused past the end; entries are
+    /// clamped to `[1, restart]`).  Feeding a previous solve's
+    /// [`crate::SolveResult::step_history`] back through this variant,
+    /// together with [`crate::BasisStrategy::Scheduled`] for its
+    /// `shift_history`, reproduces that solve bitwise.
+    Scheduled {
+        /// Effective step per restart cycle.
+        per_cycle: Vec<usize>,
+    },
+}
+
+impl StepPolicy {
+    /// Convenience constructor for the default self-rescuing policy.
+    pub fn auto() -> Self {
+        StepPolicy::Auto(AutoStep::default())
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepPolicy::Fixed => "fixed",
+            StepPolicy::Auto(_) => "auto",
+            StepPolicy::Scheduled { .. } => "scheduled",
+        }
+    }
+}
+
+/// Tuning knobs of the self-rescuing step policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoStep {
+    /// Floor for the effective step size (default 1: standard GMRES
+    /// panels, the safest configuration the s-step solver degenerates to).
+    pub min_step: usize,
+    /// Consecutive clean cycles required before probing the step back up
+    /// (one doubling per probe, capped at the requested step).
+    pub grow_after: usize,
+    /// R-diagonal condition estimate above which a cycle is *distressed*
+    /// (the panel is approaching the `O(1/sqrt(eps))` Cholesky bound and a
+    /// probe upward would likely break; default `1e8`).
+    pub kappa_threshold: f64,
+    /// Number of completed cycles over which residual stagnation is
+    /// measured.
+    pub stagnation_window: usize,
+    /// A cycle is *stagnated* when the relative residual failed to drop
+    /// below `stagnation_factor` times its value `stagnation_window`
+    /// cycles ago (default 0.9: less than 10% total progress).  Stagnation
+    /// shrinks the step: per the backward-stability analysis, a
+    /// better-conditioned (shorter) basis raises the attainable accuracy.
+    pub stagnation_factor: f64,
+}
+
+impl Default for AutoStep {
+    fn default() -> Self {
+        Self {
+            min_step: 1,
+            grow_after: 2,
+            kappa_threshold: 1e8,
+            stagnation_window: 4,
+            stagnation_factor: 0.9,
+        }
+    }
+}
+
+/// Classification of one restart cycle's health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleVerdict {
+    /// No breakdown, no remedial fallbacks, conditioning within bounds,
+    /// residual still making progress.
+    Clean,
+    /// Usable but strained: the orthogonalizer needed remedial passes, the
+    /// R-diagonal condition estimate exceeded the threshold, or the
+    /// residual stagnated.  The controller will not probe upward out of a
+    /// distressed state.
+    Distressed,
+    /// The cycle broke down (an orthogonalization error, or no usable
+    /// columns were produced).  The controller shrinks the step.
+    Breakdown,
+}
+
+/// Health report of one restart cycle, assembled by the solver from
+/// replicated data only (no additional communication).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleHealth {
+    /// Index of the cycle (0-based, in started order).
+    pub cycle: usize,
+    /// Effective step size the cycle ran at.
+    pub step: usize,
+    /// Usable basis columns the cycle produced (`k_use`; 0 = empty cycle).
+    pub usable_cols: usize,
+    /// Condition estimate of the cycle's Krylov panel: the ratio of the
+    /// largest to smallest |diagonal| of the finalized R factor (a cheap
+    /// lower bound on the basis condition number; `inf` after a breakdown
+    /// that left no finalized columns).
+    pub kappa_est: f64,
+    /// Distinct remedial-fallback episodes the orthogonalizer took this
+    /// cycle (the deduplicated [`blockortho::BlockOrthogonalizer::fallback_count`]).
+    pub fallbacks: usize,
+    /// Per-stage detail of each remedial episode (stage, panel, shift).
+    pub fallback_events: Vec<FallbackEvent>,
+    /// The orthogonalization breakdown message, if the cycle hit one.
+    pub breakdown: Option<String>,
+    /// True relative residual after the cycle's solution update (`None`
+    /// for an empty cycle, which performs no update).
+    pub relres: Option<f64>,
+    /// Whether the residual history qualified as stagnated at this cycle.
+    pub stagnated: bool,
+    /// The overall classification (see [`assess_cycle`]).
+    pub verdict: CycleVerdict,
+}
+
+/// Classify a cycle from its raw signals (thresholds from `auto`; the
+/// solver uses [`AutoStep::default`] for reporting under non-Auto
+/// policies, so `health_history` is populated consistently everywhere).
+pub fn assess_cycle(
+    auto: &AutoStep,
+    broke_down: bool,
+    usable_cols: usize,
+    kappa_est: f64,
+    fallbacks: usize,
+    stagnated: bool,
+) -> CycleVerdict {
+    // NaN condition estimates count as over the threshold.
+    let kappa_bad = kappa_est > auto.kappa_threshold || kappa_est.is_nan();
+    if broke_down || usable_cols == 0 {
+        CycleVerdict::Breakdown
+    } else if fallbacks > 0 || kappa_bad || stagnated {
+        CycleVerdict::Distressed
+    } else {
+        CycleVerdict::Clean
+    }
+}
+
+/// Whether the relative-residual history is stagnating: the latest value
+/// failed to drop below `factor` times the value `window` completed cycles
+/// earlier (non-finite values count as stagnation).
+pub fn residual_stagnated(relres_history: &[f64], window: usize, factor: f64) -> bool {
+    if relres_history.len() < window + 1 {
+        return false;
+    }
+    let last = relres_history[relres_history.len() - 1];
+    let bound = factor * relres_history[relres_history.len() - 1 - window];
+    // "Did not improve" — a NaN residual (either side) is stagnation too.
+    !matches!(last.partial_cmp(&bound), Some(std::cmp::Ordering::Less))
+}
+
+/// Condition estimate of the leading `cols`-column basis from the R
+/// factor's diagonal: `max |R_ii| / min |R_ii|`.  Replicated input, so
+/// every rank computes the identical value with no communication.
+pub fn r_diag_condition(r: &Matrix, cols: usize) -> f64 {
+    if cols == 0 {
+        return f64::INFINITY;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    for i in 0..cols {
+        let d = r[(i, i)].abs();
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    if lo == 0.0 || !lo.is_finite() || !hi.is_finite() {
+        f64::INFINITY
+    } else {
+        hi / lo
+    }
+}
+
+/// What the controller decided after observing a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepDecision {
+    /// Keep the current effective step.
+    Hold,
+    /// Halve the effective step for the next cycle (breakdown rescue or
+    /// stagnation relief).
+    Shrink {
+        /// Step the observed cycle ran at.
+        from: usize,
+        /// Step the next cycle will run at.
+        to: usize,
+    },
+    /// Probe the effective step back up for the next cycle.
+    Grow {
+        /// Step the observed cycle ran at.
+        from: usize,
+        /// Step the next cycle will run at.
+        to: usize,
+    },
+}
+
+impl StepDecision {
+    /// Whether this decision shrank the step.
+    pub fn shrunk(&self) -> bool {
+        matches!(self, StepDecision::Shrink { .. })
+    }
+}
+
+/// Per-solve state of the step policy.
+///
+/// [`StepController::step_for_cycle`] yields the effective step for the
+/// cycle about to start; [`StepController::observe`] consumes the finished
+/// cycle's [`CycleHealth`] and updates the state.  For `Fixed` and
+/// `Scheduled` policies `observe` is a no-op returning
+/// [`StepDecision::Hold`], so the pre-controller solver behavior is
+/// preserved exactly.
+#[derive(Debug, Clone)]
+pub struct StepController {
+    policy: StepPolicy,
+    /// The configured (requested) step size — the probe ceiling.
+    requested: usize,
+    /// Restart length (schedule entries are clamped to it).
+    restart: usize,
+    /// Current effective step (Auto only).
+    s_eff: usize,
+    /// Consecutive clean cycles since the last shrink/grow (Auto only).
+    clean_streak: usize,
+    /// Number of shrink decisions taken.
+    shrinks: usize,
+    /// True once any shrink has happened; the solver keeps rescue shifts
+    /// active from then on.
+    rescue_active: bool,
+}
+
+impl StepController {
+    /// Create the controller for a solve with the given configured step
+    /// size and restart length.
+    pub fn new(policy: StepPolicy, requested: usize, restart: usize) -> Self {
+        Self {
+            policy,
+            requested,
+            restart,
+            s_eff: requested,
+            clean_streak: 0,
+            shrinks: 0,
+            rescue_active: false,
+        }
+    }
+
+    /// Effective step size for cycle `cycle` (0-based).
+    pub fn step_for_cycle(&self, cycle: usize) -> usize {
+        match &self.policy {
+            StepPolicy::Fixed => self.requested,
+            StepPolicy::Auto(_) => self.s_eff,
+            StepPolicy::Scheduled { per_cycle } => {
+                let raw = per_cycle
+                    .get(cycle)
+                    .or(per_cycle.last())
+                    .copied()
+                    .unwrap_or(self.requested);
+                raw.clamp(1, self.restart)
+            }
+        }
+    }
+
+    /// Whether the Auto policy could still shrink below the current
+    /// effective step — false at the [`AutoStep::min_step`] floor and for
+    /// non-Auto policies.  Introspection only: the solver reacts to
+    /// [`StepDecision::shrunk`], which is equivalent on breakdown cycles.
+    pub fn can_shrink(&self) -> bool {
+        match &self.policy {
+            StepPolicy::Auto(auto) => self.s_eff > auto.min_step.max(1),
+            _ => false,
+        }
+    }
+
+    /// True once any rescue (shrink) has happened in this solve.
+    pub fn rescue_active(&self) -> bool {
+        self.rescue_active
+    }
+
+    /// Number of shrink decisions taken so far.
+    pub fn shrinks(&self) -> usize {
+        self.shrinks
+    }
+
+    /// Observe a finished cycle and decide the next cycle's step.
+    pub fn observe(&mut self, health: &CycleHealth) -> StepDecision {
+        let auto = match &self.policy {
+            StepPolicy::Auto(auto) => auto.clone(),
+            _ => return StepDecision::Hold,
+        };
+        let floor = auto.min_step.max(1);
+        match health.verdict {
+            CycleVerdict::Breakdown => {
+                self.clean_streak = 0;
+                self.shrink_to(floor, health.step)
+            }
+            CycleVerdict::Distressed => {
+                self.clean_streak = 0;
+                if health.stagnated {
+                    // Conditioning-limited progress: a shorter basis raises
+                    // the attainable accuracy (arXiv 2409.03079).
+                    self.shrink_to(floor, health.step)
+                } else {
+                    StepDecision::Hold
+                }
+            }
+            CycleVerdict::Clean => {
+                self.clean_streak += 1;
+                if self.s_eff < self.requested && self.clean_streak >= auto.grow_after {
+                    let from = self.s_eff;
+                    self.s_eff = (self.s_eff * 2).min(self.requested);
+                    self.clean_streak = 0;
+                    StepDecision::Grow {
+                        from,
+                        to: self.s_eff,
+                    }
+                } else {
+                    StepDecision::Hold
+                }
+            }
+        }
+    }
+
+    fn shrink_to(&mut self, floor: usize, from: usize) -> StepDecision {
+        if self.s_eff <= floor {
+            return StepDecision::Hold;
+        }
+        self.s_eff = (self.s_eff / 2).max(floor);
+        self.shrinks += 1;
+        self.rescue_active = true;
+        StepDecision::Shrink {
+            from,
+            to: self.s_eff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(step: usize, verdict: CycleVerdict, stagnated: bool) -> CycleHealth {
+        CycleHealth {
+            cycle: 0,
+            step,
+            usable_cols: if verdict == CycleVerdict::Breakdown {
+                0
+            } else {
+                step
+            },
+            kappa_est: 1.0,
+            fallbacks: 0,
+            fallback_events: Vec::new(),
+            breakdown: None,
+            relres: Some(0.5),
+            stagnated,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let mut c = StepController::new(StepPolicy::Fixed, 8, 30);
+        assert_eq!(c.step_for_cycle(0), 8);
+        assert_eq!(
+            c.observe(&health(8, CycleVerdict::Breakdown, false)),
+            StepDecision::Hold
+        );
+        assert_eq!(c.step_for_cycle(1), 8);
+        assert!(!c.can_shrink());
+        assert!(!c.rescue_active());
+    }
+
+    #[test]
+    fn auto_halves_on_breakdown_down_to_one_then_holds() {
+        let mut c = StepController::new(StepPolicy::auto(), 8, 30);
+        assert_eq!(
+            c.observe(&health(8, CycleVerdict::Breakdown, false)),
+            StepDecision::Shrink { from: 8, to: 4 }
+        );
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Breakdown, false)),
+            StepDecision::Shrink { from: 4, to: 2 }
+        );
+        assert_eq!(
+            c.observe(&health(2, CycleVerdict::Breakdown, false)),
+            StepDecision::Shrink { from: 2, to: 1 }
+        );
+        assert!(!c.can_shrink());
+        assert_eq!(
+            c.observe(&health(1, CycleVerdict::Breakdown, false)),
+            StepDecision::Hold
+        );
+        assert_eq!(c.shrinks(), 3);
+        assert!(c.rescue_active());
+    }
+
+    #[test]
+    fn auto_probes_back_up_after_consecutive_clean_cycles() {
+        let mut c = StepController::new(StepPolicy::auto(), 8, 30);
+        c.observe(&health(8, CycleVerdict::Breakdown, false));
+        assert_eq!(c.step_for_cycle(1), 4);
+        // One clean cycle is not enough (grow_after = 2).
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Clean, false)),
+            StepDecision::Hold
+        );
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Clean, false)),
+            StepDecision::Grow { from: 4, to: 8 }
+        );
+        assert_eq!(c.step_for_cycle(3), 8);
+        // At the requested step, clean cycles keep holding.
+        assert_eq!(
+            c.observe(&health(8, CycleVerdict::Clean, false)),
+            StepDecision::Hold
+        );
+    }
+
+    #[test]
+    fn distress_resets_the_clean_streak_and_blocks_probing() {
+        let mut c = StepController::new(StepPolicy::auto(), 8, 30);
+        c.observe(&health(8, CycleVerdict::Breakdown, false));
+        c.observe(&health(4, CycleVerdict::Clean, false));
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Distressed, false)),
+            StepDecision::Hold
+        );
+        // The streak restarted: one clean cycle must not grow yet.
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Clean, false)),
+            StepDecision::Hold
+        );
+        assert_eq!(
+            c.observe(&health(4, CycleVerdict::Clean, false)),
+            StepDecision::Grow { from: 4, to: 8 }
+        );
+    }
+
+    #[test]
+    fn stagnation_shrinks_even_without_breakdown() {
+        let mut c = StepController::new(StepPolicy::auto(), 8, 30);
+        assert_eq!(
+            c.observe(&health(8, CycleVerdict::Distressed, true)),
+            StepDecision::Shrink { from: 8, to: 4 }
+        );
+    }
+
+    #[test]
+    fn scheduled_policy_replays_and_clamps() {
+        let c = StepController::new(
+            StepPolicy::Scheduled {
+                per_cycle: vec![8, 4, 4, 100, 0],
+            },
+            8,
+            30,
+        );
+        assert_eq!(c.step_for_cycle(0), 8);
+        assert_eq!(c.step_for_cycle(1), 4);
+        assert_eq!(c.step_for_cycle(3), 30); // clamped to restart
+        assert_eq!(c.step_for_cycle(4), 1); // clamped up to 1
+        assert_eq!(c.step_for_cycle(9), 1); // last entry reused past the end
+    }
+
+    #[test]
+    fn assessment_maps_signals_to_verdicts() {
+        let auto = AutoStep::default();
+        assert_eq!(
+            assess_cycle(&auto, true, 5, 1.0, 0, false),
+            CycleVerdict::Breakdown
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 0, 1.0, 0, false),
+            CycleVerdict::Breakdown
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 5, 1.0, 1, false),
+            CycleVerdict::Distressed
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 5, 1e9, 0, false),
+            CycleVerdict::Distressed
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 5, f64::INFINITY, 0, false),
+            CycleVerdict::Distressed
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 5, 1.0, 0, true),
+            CycleVerdict::Distressed
+        );
+        assert_eq!(
+            assess_cycle(&auto, false, 5, 1e3, 0, false),
+            CycleVerdict::Clean
+        );
+    }
+
+    #[test]
+    fn stagnation_detector_needs_a_full_window() {
+        assert!(!residual_stagnated(&[0.5, 0.49], 4, 0.9));
+        // 5 entries, window 4: 0.49 vs 0.9 * 0.5 — no real progress.
+        assert!(residual_stagnated(&[0.5, 0.5, 0.5, 0.5, 0.49], 4, 0.9));
+        assert!(!residual_stagnated(&[0.5, 0.4, 0.3, 0.2, 0.1], 4, 0.9));
+        // Non-finite residuals count as stagnation.
+        assert!(residual_stagnated(&[0.5, 0.5, 0.5, 0.5, f64::NAN], 4, 0.9));
+    }
+
+    #[test]
+    fn r_diag_condition_estimates_from_the_diagonal() {
+        let mut r = Matrix::identity(4);
+        r[(2, 2)] = 1e-6;
+        assert_eq!(r_diag_condition(&r, 2), 1.0);
+        assert_eq!(r_diag_condition(&r, 4), 1e6);
+        r[(3, 3)] = 0.0;
+        assert_eq!(r_diag_condition(&r, 4), f64::INFINITY);
+        assert_eq!(r_diag_condition(&r, 0), f64::INFINITY);
+    }
+}

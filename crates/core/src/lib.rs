@@ -38,18 +38,21 @@
 //! ```
 
 pub mod basis;
+pub mod control;
 pub mod hessenberg;
 pub mod precond;
 pub mod shifts;
 pub mod solver;
 
 pub use basis::{AdaptiveBasis, BasisStrategy, KrylovBasis};
+pub use control::{AutoStep, CycleHealth, CycleVerdict, StepController, StepDecision, StepPolicy};
 pub use hessenberg::HessenbergRecovery;
 pub use precond::{
     BlockJacobiGaussSeidel, Identity, Jacobi, MulticolorGaussSeidel, Polynomial, Preconditioner,
 };
 pub use solver::{standard_gmres_config, GmresConfig, SStepGmres, SolveResult};
 
-// Re-export the orthogonalization selector so downstream users configure the
-// solver without importing blockortho directly.
-pub use blockortho::OrthoKind;
+// Re-export the orthogonalization selector (and the per-stage fallback
+// detail surfaced in CycleHealth) so downstream users configure the solver
+// and read its health reports without importing blockortho directly.
+pub use blockortho::{FallbackEvent, FallbackStage, OrthoKind};

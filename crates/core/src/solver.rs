@@ -1,10 +1,11 @@
 //! The restarted s-step GMRES solver (Fig. 1 / Fig. 5 of the paper).
 
 use crate::basis::{BasisStrategy, KrylovBasis};
+use crate::control::{self, CycleHealth, StepController, StepPolicy};
 use crate::hessenberg::HessenbergRecovery;
 use crate::precond::{Identity, Preconditioner};
 use crate::shifts;
-use blockortho::{make_orthogonalizer, OrthoKind};
+use blockortho::{make_orthogonalizer, FallbackEvent, OrthoKind};
 use dense::Matrix;
 use distsim::{CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, SerialComm};
 use sparse::{block_row_partition, Csr, RowPartition, RowSource};
@@ -30,6 +31,10 @@ pub struct GmresConfig {
     /// Krylov basis policy of the matrix-powers kernel (fixed monomial or
     /// Newton shifts, adaptive Ritz harvesting, or a replayed schedule).
     pub basis: BasisStrategy,
+    /// Step-size policy: [`StepPolicy::Fixed`] (the default, bitwise the
+    /// pre-controller solver), the self-rescuing [`StepPolicy::Auto`], or
+    /// a replayed [`StepPolicy::Scheduled`] step schedule.
+    pub step_policy: StepPolicy,
 }
 
 impl Default for GmresConfig {
@@ -42,6 +47,7 @@ impl Default for GmresConfig {
             max_restarts: usize::MAX,
             ortho: OrthoKind::BcgsPip2,
             basis: BasisStrategy::Monomial,
+            step_policy: StepPolicy::Fixed,
         }
     }
 }
@@ -88,8 +94,22 @@ pub struct SolveResult {
     /// [`BasisStrategy::Newton`] run.
     pub last_harvest: Option<Vec<f64>>,
     /// Total shifted-CholQR fallbacks the orthogonalization took across all
-    /// cycles (nonzero only for schemes with a remedial path).
+    /// cycles (nonzero only for schemes with a remedial path; distinct
+    /// episodes — a big-panel fallback over an already-remediated panel is
+    /// not counted twice).
     pub ortho_fallbacks: usize,
+    /// Effective step size of each started cycle.  Feeding this back
+    /// through [`StepPolicy::Scheduled`] (together with `shift_history`
+    /// through [`BasisStrategy::Scheduled`]) replays the solve bitwise.
+    pub step_history: Vec<usize>,
+    /// Per-cycle health reports (one per started cycle): panel condition
+    /// estimate from the R diagonal, per-stage fallback events, breakdown
+    /// message, residual, stagnation flag, and verdict.  Recorded for
+    /// every policy; only [`StepPolicy::Auto`] acts on it.
+    pub health_history: Vec<CycleHealth>,
+    /// Number of step-shrink rescues [`StepPolicy::Auto`] took (0 under
+    /// `Fixed`/`Scheduled`).
+    pub rescues: usize,
 }
 
 /// The restarted s-step GMRES solver.
@@ -107,6 +127,22 @@ impl SStepGmres {
             config.step_size <= config.restart,
             "step size cannot exceed the restart length"
         );
+        if let StepPolicy::Auto(auto) = &config.step_policy {
+            assert!(auto.min_step >= 1, "auto step floor must be at least 1");
+            assert!(
+                auto.min_step <= config.step_size,
+                "auto step floor cannot exceed the requested step size"
+            );
+            assert!(auto.grow_after >= 1, "grow_after must be at least 1");
+            assert!(
+                auto.stagnation_window >= 1,
+                "stagnation window must be at least 1"
+            );
+            assert!(
+                auto.stagnation_factor > 0.0 && auto.stagnation_factor <= 1.0,
+                "stagnation factor must be in (0, 1]"
+            );
+        }
         Self { config }
     }
 
@@ -184,7 +220,7 @@ impl SStepGmres {
         x_local: &mut [f64],
     ) -> SolveResult {
         let m = self.config.restart;
-        let s = self.config.step_size;
+        let s_req = self.config.step_size;
         let nloc = a.local_matrix().nrows();
         assert_eq!(b_local.len(), nloc, "rhs length mismatch");
         assert_eq!(x_local.len(), nloc, "solution length mismatch");
@@ -206,6 +242,13 @@ impl SStepGmres {
         let mut relres_history: Vec<f64> = Vec::new();
         let mut last_harvest: Option<Vec<f64>> = None;
         let mut ortho_fallbacks = 0usize;
+        // Step-size policy state: the controller observes every cycle's
+        // health (all signals are replicated, so its decisions cost no
+        // communication) and, under StepPolicy::Auto, shrinks/regrows the
+        // effective step.
+        let mut controller = StepController::new(self.config.step_policy.clone(), s_req, m);
+        let mut step_history: Vec<usize> = Vec::new();
+        let mut health_history: Vec<CycleHealth> = Vec::new();
 
         // Reusable buffers.
         let mut basis =
@@ -232,6 +275,9 @@ impl SStepGmres {
                 shift_history: Vec::new(),
                 last_harvest: None,
                 ortho_fallbacks: 0,
+                step_history: Vec::new(),
+                health_history: Vec::new(),
+                rescues: 0,
             };
         }
         let target = self.config.tol * r0_norm;
@@ -244,15 +290,18 @@ impl SStepGmres {
                 converged = true;
                 break;
             }
-            // Select this cycle's basis and record it (the record is what
-            // BasisStrategy::Scheduled replays).
+            // Select this cycle's basis and effective step and record both
+            // (the records are what BasisStrategy::Scheduled and
+            // StepPolicy::Scheduled replay).
             if let BasisStrategy::Scheduled { per_cycle } = &self.config.basis {
                 current_basis = BasisStrategy::scheduled_basis(per_cycle, cycles_started);
             }
+            let s = controller.step_for_cycle(cycles_started);
             shift_history.push(match &current_basis {
                 KrylovBasis::Monomial => Vec::new(),
                 KrylovBasis::Newton { shifts } => shifts.clone(),
             });
+            step_history.push(s);
             cycles_started += 1;
             // Start a new cycle: column 0 = r/γ.
             for entry in r_factor.data_mut().iter_mut() {
@@ -267,8 +316,25 @@ impl SStepGmres {
             let before = comm.stats().snapshot();
             let first = ortho.orthogonalize_panel(&mut basis, 0..1, &mut r_factor);
             comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
+            let mut cycle_breakdown: Option<String> = None;
             if let Err(e) = first {
-                breakdown = Some(format!("initial column: {e}"));
+                // Fatal: the residual column itself could not be
+                // normalized; no step size rescues this.  Record the
+                // cycle's health for observability and stop.
+                let msg = format!("initial column: {e}");
+                breakdown = Some(msg.clone());
+                health_history.push(build_health(
+                    &self.config.step_policy,
+                    cycles_started - 1,
+                    s,
+                    0,
+                    f64::INFINITY,
+                    ortho.fallback_count(),
+                    ortho.fallback_events().to_vec(),
+                    Some(msg),
+                    None,
+                    &relres_history,
+                ));
                 break 'outer;
             }
             let mut cols = 1usize; // basis columns filled and submitted
@@ -307,7 +373,9 @@ impl SStepGmres {
                         consecutive_breakdowns = 0;
                     }
                     Err(e) => {
-                        breakdown = Some(format!("panel {}..{}: {e}", cols, cols + k));
+                        let msg = format!("panel {}..{}: {e}", cols, cols + k);
+                        breakdown = Some(msg.clone());
+                        cycle_breakdown = Some(msg);
                         consecutive_breakdowns += 1;
                         // Abandon this cycle; use what has been finalized.
                         break;
@@ -334,21 +402,42 @@ impl SStepGmres {
             // --- Complete delayed orthogonalization and the projected solve. ---
             let before = comm.stats().snapshot();
             if let Err(e) = ortho.finish(&mut basis, &mut r_factor) {
+                let msg = format!("finish: {e}");
                 if breakdown.is_none() {
-                    breakdown = Some(format!("finish: {e}"));
+                    breakdown = Some(msg.clone());
+                }
+                if cycle_breakdown.is_none() {
+                    cycle_breakdown = Some(msg);
                 }
                 consecutive_breakdowns += 1;
             }
             comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
-            ortho_fallbacks += ortho.fallback_count();
+            let cycle_fallbacks = ortho.fallback_count();
+            let cycle_events = ortho.fallback_events().to_vec();
+            ortho_fallbacks += cycle_fallbacks;
             let finalized = ortho.finalized_cols().unwrap_or(cols).min(cols);
             let k_use = finalized.saturating_sub(1);
             if k_use == 0 {
                 // Nothing usable was generated in this cycle: without an
                 // update the next cycle would start from the same residual,
-                // so give up after repeated empty cycles.
+                // so give up after repeated empty cycles — unless the Auto
+                // policy can still rescue by shrinking the step.
                 no_progress_cycles += 1;
-                if no_progress_cycles >= 2 || consecutive_breakdowns >= 3 {
+                let health = build_health(
+                    &self.config.step_policy,
+                    cycles_started - 1,
+                    s,
+                    0,
+                    control::r_diag_condition(&r_factor, finalized.min(s + 1)),
+                    cycle_fallbacks,
+                    cycle_events,
+                    cycle_breakdown.clone(),
+                    None,
+                    &relres_history,
+                );
+                let decision = controller.observe(&health);
+                health_history.push(health);
+                if !decision.shrunk() && (no_progress_cycles >= 2 || consecutive_breakdowns >= 3) {
                     break 'outer;
                 }
                 // An empty cycle yields no Hessenberg to harvest from; the
@@ -357,6 +446,12 @@ impl SStepGmres {
                 if matches!(self.config.basis, BasisStrategy::Adaptive(_)) {
                     current_basis = KrylovBasis::Monomial;
                 }
+                apply_rescue_basis(
+                    &self.config.basis,
+                    &controller,
+                    &mut current_basis,
+                    &last_harvest,
+                );
                 restarts += 1;
                 continue;
             }
@@ -373,13 +468,21 @@ impl SStepGmres {
             // communication; only the adaptive policy acts on the result,
             // but the harvest is recorded for every strategy so a warm-up
             // solve can serve as a shift oracle.
+            // The harvest cap follows the *requested* step size even when a
+            // rescue shrank the effective one — exactly the manual warm-up
+            // oracle's shape, so a reduced-step cycle yields enough shifts
+            // to probe back up to the requested step.
             let (cap, rtol, min_h) = match &self.config.basis {
                 BasisStrategy::Adaptive(a) => (
-                    if a.max_shifts == 0 { s } else { a.max_shifts },
+                    if a.max_shifts == 0 {
+                        s_req
+                    } else {
+                        a.max_shifts
+                    },
                     a.dedup_rtol,
                     a.min_hessenberg,
                 ),
-                _ => (s, shifts::DEFAULT_DEDUP_RTOL, 2),
+                _ => (s_req, shifts::DEFAULT_DEDUP_RTOL, 2),
             };
             let harvest = if k_use >= min_h.max(1) {
                 shifts::harvest_newton_shifts(&hess, k_use, cap, rtol)
@@ -409,6 +512,24 @@ impl SStepGmres {
             residual = compute_residual(a, x_local, b_local, &mut spmv_count);
             gamma = global_norm(&residual, comm.as_ref());
             relres_history.push(gamma / r0_norm);
+            // Cycle health: every signal is local or replicated (R factor
+            // diagonal, fallback events, the residual already reduced
+            // above), so assembling and acting on the report costs zero
+            // additional global reductions.
+            let health = build_health(
+                &self.config.step_policy,
+                cycles_started - 1,
+                s,
+                k_use,
+                control::r_diag_condition(&r_factor, finalized.min(s + 1)),
+                cycle_fallbacks,
+                cycle_events,
+                cycle_breakdown.clone(),
+                Some(gamma / r0_norm),
+                &relres_history,
+            );
+            controller.observe(&health);
+            health_history.push(health);
             if gamma <= target {
                 converged = true;
                 break;
@@ -416,6 +537,12 @@ impl SStepGmres {
             if consecutive_breakdowns >= 3 {
                 break;
             }
+            apply_rescue_basis(
+                &self.config.basis,
+                &controller,
+                &mut current_basis,
+                &last_harvest,
+            );
             let _ = cycle_converged_est; // estimate is re-verified by the true residual above
         }
         if gamma <= target {
@@ -436,7 +563,86 @@ impl SStepGmres {
             shift_history,
             last_harvest,
             ortho_fallbacks,
+            step_history,
+            health_history,
+            rescues: controller.shrinks(),
         }
+    }
+}
+
+/// Assemble a [`CycleHealth`] report from a finished cycle's raw signals.
+/// Non-Auto policies assess with [`control::AutoStep::default`] thresholds
+/// so `health_history` reads the same everywhere.
+#[allow(clippy::too_many_arguments)]
+fn build_health(
+    policy: &StepPolicy,
+    cycle: usize,
+    step: usize,
+    usable_cols: usize,
+    kappa_est: f64,
+    fallbacks: usize,
+    fallback_events: Vec<FallbackEvent>,
+    breakdown: Option<String>,
+    relres: Option<f64>,
+    relres_history: &[f64],
+) -> CycleHealth {
+    let auto = match policy {
+        StepPolicy::Auto(a) => a.clone(),
+        _ => control::AutoStep::default(),
+    };
+    let stagnated = relres.is_some()
+        && control::residual_stagnated(
+            relres_history,
+            auto.stagnation_window,
+            auto.stagnation_factor,
+        );
+    let verdict = control::assess_cycle(
+        &auto,
+        breakdown.is_some(),
+        usable_cols,
+        kappa_est,
+        fallbacks,
+        stagnated,
+    );
+    CycleHealth {
+        cycle,
+        step,
+        usable_cols,
+        kappa_est,
+        fallbacks,
+        fallback_events,
+        breakdown,
+        relres,
+        stagnated,
+        verdict,
+    }
+}
+
+/// Once an Auto rescue is active, keep the most recent harvested Newton
+/// shifts in effect for strategies that would otherwise re-run the basis
+/// that broke (the automated form of the README's warm-up shift oracle).
+/// Adaptive re-harvests on its own and Scheduled must replay verbatim, so
+/// both are left alone; non-Auto policies never activate a rescue.
+fn apply_rescue_basis(
+    strategy: &BasisStrategy,
+    controller: &StepController,
+    current_basis: &mut KrylovBasis,
+    last_harvest: &Option<Vec<f64>>,
+) {
+    if !controller.rescue_active() {
+        return;
+    }
+    match strategy {
+        BasisStrategy::Monomial | BasisStrategy::Newton { .. } => {
+            if let Some(shifts) = last_harvest {
+                if !shifts.is_empty() {
+                    *current_basis = KrylovBasis::Newton {
+                        shifts: shifts.clone(),
+                    };
+                }
+            }
+        }
+        BasisStrategy::Adaptive(_) | BasisStrategy::Scheduled { .. } => {}
     }
 }
 
@@ -720,5 +926,46 @@ mod tests {
             step_size: 8,
             ..GmresConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "auto step floor cannot exceed")]
+    fn auto_floor_above_step_size_is_rejected() {
+        SStepGmres::new(GmresConfig {
+            restart: 30,
+            step_size: 4,
+            step_policy: crate::control::StepPolicy::Auto(crate::control::AutoStep {
+                min_step: 6,
+                ..crate::control::AutoStep::default()
+            }),
+            ..GmresConfig::default()
+        });
+    }
+
+    #[test]
+    fn every_cycle_gets_a_health_report_and_a_step_entry() {
+        let a = laplace2d_5pt(16, 16);
+        let b = rhs_for_ones(&a);
+        let solver = SStepGmres::new(GmresConfig {
+            restart: 20,
+            step_size: 5,
+            tol: 1e-8,
+            ortho: OrthoKind::TwoStage { big_panel: 20 },
+            ..GmresConfig::default()
+        });
+        let (_, r) = solver.solve_serial(&a, &b);
+        assert!(r.converged);
+        assert_eq!(r.step_history.len(), r.health_history.len());
+        assert_eq!(r.step_history.len(), r.shift_history.len());
+        assert!(r.step_history.iter().all(|&s| s == 5), "Fixed never moves");
+        assert_eq!(r.rescues, 0);
+        for (c, h) in r.health_history.iter().enumerate() {
+            assert_eq!(h.cycle, c);
+            assert_eq!(h.step, 5);
+            assert!(h.kappa_est.is_finite() && h.kappa_est >= 1.0);
+            assert_eq!(h.fallbacks, 0);
+            assert!(h.breakdown.is_none());
+            assert_eq!(h.verdict, crate::control::CycleVerdict::Clean);
+        }
     }
 }

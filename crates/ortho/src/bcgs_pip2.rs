@@ -83,7 +83,7 @@ impl BlockOrthogonalizer for BcgsPip2 {
         r: &mut Matrix,
     ) -> Result<(), OrthoError> {
         let prev = 0..new.start;
-        let (r_prev, r_new) = crate::kernels::bcgs_pip2_fused(
+        let (r_prev, r_new, _shift) = crate::kernels::bcgs_pip2_fused(
             basis,
             prev.clone(),
             new.clone(),

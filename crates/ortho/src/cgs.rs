@@ -48,7 +48,14 @@ impl BlockOrthogonalizer for Cgs2Columnwise {
 }
 
 /// Column-wise modified Gram–Schmidt (one reduce per already-orthogonalized
-/// column plus one for the norm).
+/// column plus one for the norm), with **selective reorthogonalization**:
+/// when a column loses most of its mass to the projections (the
+/// Rutishauser/Parlett cancellation test, evaluated *locally* from the
+/// Pythagorean identity `‖v‖² ≈ ‖residual‖² + Σ h_k²`, so well-conditioned
+/// columns pay no extra reduces), a second projection sweep restores `O(ε)`
+/// orthogonality.  A column that still collapses after the second sweep is
+/// numerically inside the span and is reported as a breakdown — plain MGS
+/// would silently normalize rounding noise there.
 #[derive(Debug, Default)]
 pub struct MgsColumnwise;
 
@@ -57,6 +64,10 @@ impl MgsColumnwise {
     pub fn new() -> Self {
         Self
     }
+
+    /// Cancellation threshold: reorthogonalize when the residual retains
+    /// less than this fraction of the column's pre-projection norm.
+    const DROP_TOL: f64 = 0.1;
 }
 
 impl BlockOrthogonalizer for MgsColumnwise {
@@ -71,12 +82,32 @@ impl BlockOrthogonalizer for MgsColumnwise {
         r: &mut Matrix,
     ) -> Result<(), OrthoError> {
         for c in new {
-            for k in 0..c {
-                let h = basis.dot(k, c);
-                basis.axpy_col(-h, k, c);
-                r[(k, c)] += h;
+            let mut norm = 0.0;
+            for pass in 0..2 {
+                let mut proj_sq = 0.0;
+                for k in 0..c {
+                    let h = basis.dot(k, c);
+                    basis.axpy_col(-h, k, c);
+                    r[(k, c)] += h;
+                    proj_sq += h * h;
+                }
+                norm = basis.norm2(c);
+                // ‖v before this sweep‖² = ‖residual‖² + Σ h².  If the
+                // residual kept most of it (or there was nothing to project
+                // against), the sweep was clean — no reorthogonalization.
+                let before = (norm * norm + proj_sq).sqrt();
+                if pass == 1 || c == 0 || norm > Self::DROP_TOL * before {
+                    if pass == 1 && norm <= Self::DROP_TOL * before {
+                        // Collapsed twice: the column is numerically in the
+                        // span of its predecessors.
+                        return Err(OrthoError::ZeroNorm {
+                            context: "columnwise MGS (column in span after reorthogonalization)",
+                            column: c,
+                        });
+                    }
+                    break;
+                }
             }
-            let norm = basis.norm2(c);
             if norm == 0.0 || !norm.is_finite() {
                 return Err(OrthoError::ZeroNorm {
                     context: "columnwise MGS",

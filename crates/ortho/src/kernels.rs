@@ -157,8 +157,10 @@ pub fn bcgs_pip(
 /// 4. local: `R2 = chol(G₂ − YᵀY)`, then `Q_new = (W − Q·Y)·R2⁻¹`
 ///    (2 passes).
 ///
-/// Returns `(T_prev, T_new)` with `V = Q_prev·T_prev + Q_new·T_new`, i.e.
-/// `T_prev = P1 + Y·R1` and `T_new = R2·R1`.  With an empty `prev` the
+/// Returns `(T_prev, T_new, shift)` with `V = Q_prev·T_prev + Q_new·T_new`,
+/// i.e. `T_prev = P1 + Y·R1` and `T_new = R2·R1`; `shift` is the diagonal
+/// shift the first-pass shifted Cholesky applied (`0.0` when `shifted` is
+/// false, or when the factorization needed none).  With an empty `prev` the
 /// sequence degenerates to CholQR2 (same kernel ops, same values).
 /// `first_context`/`second_context` label the two Cholesky breakdown sites
 /// in errors.
@@ -169,14 +171,18 @@ pub fn bcgs_pip2_fused(
     shifted: bool,
     first_context: &'static str,
     second_context: &'static str,
-) -> Result<(Matrix, Matrix), OrthoError> {
+) -> Result<(Matrix, Matrix, f64), OrthoError> {
     // Reduce 1: projection and Gram of the raw panel.
     let (p1, g1) = basis.proj_and_gram(prev.clone(), new.clone());
     let correction = dense::gemm_nn(&p1.transpose(), &p1);
     let g_proj = g1.sub(&correction);
+    let mut applied_shift = 0.0;
     let r1 = if shifted {
         dense::shifted_cholesky_upper(&g_proj, basis.global_rows())
-            .map(|(r, _shift)| r)
+            .map(|(r, shift)| {
+                applied_shift = shift;
+                r
+            })
             .map_err(|e| OrthoError::CholeskyBreakdown {
                 context: first_context,
                 pivot: e.pivot,
@@ -205,7 +211,7 @@ pub fn bcgs_pip2_fused(
     // Compose: V = Q_prev·(P1 + Y·R1) + Q_new·(R2·R1).
     let t_prev = dense::gemm_nn(&y, &r1).add(&p1);
     let t_new = dense::tri_matmul_upper(&r2, &r1);
-    Ok((t_prev, t_new))
+    Ok((t_prev, t_new, applied_shift))
 }
 
 /// Column-wise classical Gram–Schmidt with reorthogonalization (CGS2),

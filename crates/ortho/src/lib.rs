@@ -44,7 +44,10 @@ pub use error::OrthoError;
 pub use kernels::{
     bcgs, bcgs_pip, cholqr, cholqr2, columnwise_cgs2, mixed_precision_cholqr, shifted_cholqr,
 };
-pub use traits::{make_orthogonalizer, BlockOrthogonalizer, OrthoKind};
+pub use traits::{
+    distinct_fallback_episodes, make_orthogonalizer, BlockOrthogonalizer, FallbackEvent,
+    FallbackStage, OrthoKind,
+};
 pub use two_stage::TwoStage;
 
 /// Convenience: orthogonalize an owned dense matrix with a given scheme on a

@@ -5,6 +5,55 @@ use dense::Matrix;
 use distsim::DistMultiVector;
 use std::ops::Range;
 
+/// Which stage of a (possibly multi-stage) scheme had to take a remedial
+/// pass.  One-stage schemes only ever report [`FallbackStage::PanelPreprocess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackStage {
+    /// The per-panel kernel (the two-stage scheme's first stage, which
+    /// pre-processes each fresh `s`-column panel).
+    PanelPreprocess,
+    /// The delayed big-panel kernel (the two-stage scheme's second stage,
+    /// flushing `bs` accumulated columns at once).
+    BigPanelFlush,
+}
+
+/// One remedial (shifted-CholQR) episode a scheme had to take because the
+/// plain kernel's Cholesky factorization broke down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackEvent {
+    /// Which stage took the remedial pass.
+    pub stage: FallbackStage,
+    /// The basis columns of the offending panel (first stage) or big panel
+    /// (second stage).
+    pub cols: Range<usize>,
+    /// Magnitude of the diagonal shift the shifted Cholesky factorization
+    /// applied to the Gram matrix (a direct measure of how far from
+    /// positive definite the panel was).
+    pub shift: f64,
+}
+
+/// Number of *distinct* breakdown episodes in a list of fallback events.
+///
+/// A big-panel (second-stage) fallback whose column range contains a panel
+/// that already needed a first-stage fallback in the same cycle is the same
+/// underlying ill-conditioned panel surfacing twice, not a new incident —
+/// counting both would double-count the episode across stages.  First-stage
+/// events always count; second-stage events count only when no first-stage
+/// event lies inside their range.
+pub fn distinct_fallback_episodes(events: &[FallbackEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| match e.stage {
+            FallbackStage::PanelPreprocess => true,
+            FallbackStage::BigPanelFlush => !events.iter().any(|p| {
+                p.stage == FallbackStage::PanelPreprocess
+                    && e.cols.start <= p.cols.start
+                    && p.cols.end <= e.cols.end
+            }),
+        })
+        .count()
+}
+
 /// A block orthogonalization scheme as used inside s-step GMRES.
 ///
 /// The solver owns a basis multivector with `m+1` columns and a replicated
@@ -56,12 +105,21 @@ pub trait BlockOrthogonalizer {
         None
     }
 
-    /// Number of times the scheme had to fall back to a more expensive
-    /// remedial kernel (the two-stage scheme's shifted-CholQR path) since
-    /// construction or the last [`reset`](Self::reset).  `0` for schemes
-    /// without a fallback path.
+    /// The remedial (shifted-CholQR) episodes the scheme has taken since
+    /// construction or the last [`reset`](Self::reset), with per-stage
+    /// detail: which stage, which panel, and the shift magnitude that was
+    /// needed.  Empty for schemes without a fallback path.
+    fn fallback_events(&self) -> &[FallbackEvent] {
+        &[]
+    }
+
+    /// Number of *distinct* breakdown episodes since construction or the
+    /// last [`reset`](Self::reset): remedial passes the same ill-conditioned
+    /// panel forced in more than one stage of the same cycle are counted
+    /// once (see [`distinct_fallback_episodes`]).  `0` for schemes without
+    /// a fallback path.
     fn fallback_count(&self) -> usize {
-        0
+        distinct_fallback_episodes(self.fallback_events())
     }
 
     /// Reset internal state at the start of a new restart cycle.
@@ -148,6 +206,46 @@ mod tests {
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn distinct_episodes_do_not_double_count_across_stages() {
+        let first = |cols: Range<usize>| FallbackEvent {
+            stage: FallbackStage::PanelPreprocess,
+            cols,
+            shift: 1e-12,
+        };
+        let second = |cols: Range<usize>| FallbackEvent {
+            stage: FallbackStage::BigPanelFlush,
+            cols,
+            shift: 1e-10,
+        };
+        // No events.
+        assert_eq!(distinct_fallback_episodes(&[]), 0);
+        // Independent first-stage episodes all count.
+        assert_eq!(
+            distinct_fallback_episodes(&[first(5..10), first(10..15)]),
+            2
+        );
+        // A big-panel flush over a range containing a remediated panel is
+        // the same episode, not a second one.
+        assert_eq!(
+            distinct_fallback_episodes(&[first(5..10), second(0..20)]),
+            1
+        );
+        // A big-panel flush with no remediated panel inside is a new episode.
+        assert_eq!(
+            distinct_fallback_episodes(&[first(5..10), second(20..40)]),
+            2
+        );
+        // Mixed: two panels inside one flushed big panel still one episode
+        // per panel (the flush is a continuation of both).
+        assert_eq!(
+            distinct_fallback_episodes(&[first(0..5), first(5..10), second(0..10)]),
+            2
+        );
+        // A standalone second-stage episode counts.
+        assert_eq!(distinct_fallback_episodes(&[second(0..20)]), 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use crate::error::OrthoError;
 use crate::kernels::bcgs_pip;
-use crate::traits::BlockOrthogonalizer;
+use crate::traits::{BlockOrthogonalizer, FallbackEvent, FallbackStage};
 use dense::Matrix;
 use distsim::DistMultiVector;
 use std::ops::Range;
@@ -44,9 +44,9 @@ pub struct TwoStage {
     /// (identity for columns of completed big panels; the stage-2 T factor
     /// for columns that were pre-processed when used as MPK inputs).
     coeffs: Matrix,
-    /// Number of shifted-CholQR fallbacks taken (either stage) since
-    /// construction or the last reset.
-    fallbacks: usize,
+    /// Shifted-CholQR fallbacks taken (either stage) since construction or
+    /// the last reset, with the stage, panel, and shift magnitude of each.
+    events: Vec<FallbackEvent>,
 }
 
 impl TwoStage {
@@ -60,7 +60,7 @@ impl TwoStage {
             big_start: 0,
             processed_end: 0,
             coeffs: Matrix::identity(total_cols),
-            fallbacks: 0,
+            events: Vec::new(),
         }
     }
 
@@ -89,8 +89,13 @@ impl TwoStage {
         let (t_prev, t_bp) = match bcgs_pip(basis, prev.clone(), bp.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
-                self.fallbacks += 1;
-                shifted_bcgs_pip2(basis, prev.clone(), bp.clone())?
+                let (t_prev, t_bp, shift) = shifted_bcgs_pip2(basis, prev.clone(), bp.clone())?;
+                self.events.push(FallbackEvent {
+                    stage: FallbackStage::BigPanelFlush,
+                    cols: bp.clone(),
+                    shift,
+                });
+                (t_prev, t_bp)
             }
             Err(other) => return Err(other),
         };
@@ -143,12 +148,14 @@ impl TwoStage {
 ///
 /// **2 global reduces**, 5 passes over the `n×bs` panel (the unfused
 /// formulation took 6: separate update, normalization and `proj_and_gram`
-/// sweeps in the second pass).
+/// sweeps in the second pass).  The third element of the result is the
+/// Cholesky shift the first pass applied (recorded in the caller's
+/// [`FallbackEvent`]).
 fn shifted_bcgs_pip2(
     basis: &mut DistMultiVector,
     prev: Range<usize>,
     bp: Range<usize>,
-) -> Result<(Matrix, Matrix), OrthoError> {
+) -> Result<(Matrix, Matrix, f64), OrthoError> {
     crate::kernels::bcgs_pip2_fused(
         basis,
         prev,
@@ -196,14 +203,22 @@ impl BlockOrthogonalizer for TwoStage {
         let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
-                self.fallbacks += 1;
-                shifted_bcgs_pip2(basis, prev.clone(), new.clone()).map_err(|e| match e {
-                    OrthoError::CholeskyBreakdown { pivot, .. } => OrthoError::CholeskyBreakdown {
-                        context: "two-stage first stage (panel pre-processing)",
-                        pivot,
-                    },
-                    other => other,
-                })?
+                let (p, r_new, shift) = shifted_bcgs_pip2(basis, prev.clone(), new.clone())
+                    .map_err(|e| match e {
+                        OrthoError::CholeskyBreakdown { pivot, .. } => {
+                            OrthoError::CholeskyBreakdown {
+                                context: "two-stage first stage (panel pre-processing)",
+                                pivot,
+                            }
+                        }
+                        other => other,
+                    })?;
+                self.events.push(FallbackEvent {
+                    stage: FallbackStage::PanelPreprocess,
+                    cols: new.clone(),
+                    shift,
+                });
+                (p, r_new)
             }
             Err(other) => return Err(other),
         };
@@ -230,15 +245,15 @@ impl BlockOrthogonalizer for TwoStage {
         Some(self.big_start)
     }
 
-    fn fallback_count(&self) -> usize {
-        self.fallbacks
+    fn fallback_events(&self) -> &[FallbackEvent] {
+        &self.events
     }
 
     fn reset(&mut self) {
         self.big_start = 0;
         self.processed_end = 0;
         self.coeffs = Matrix::identity(self.total_cols);
-        self.fallbacks = 0;
+        self.events.clear();
     }
 }
 
@@ -422,7 +437,7 @@ mod tests {
         pre.orthogonalize_panel(&mut basis, 0..4, &mut r0).unwrap();
         let stored = basis.local().clone(); // columns 4..10 still raw
         let before = basis.comm().stats().snapshot();
-        let (t_prev, t_bp) = shifted_bcgs_pip2(&mut basis, 0..4, 4..10).unwrap();
+        let (t_prev, t_bp, _shift) = shifted_bcgs_pip2(&mut basis, 0..4, 4..10).unwrap();
         let delta = basis.comm().stats().snapshot().since(&before);
         assert_eq!(delta.allreduces, 2, "shifted fallback must stay 2 reduces");
         assert!(dense::orthogonality_error(&basis.local().cols(0..10)) < 1e-12);
@@ -438,6 +453,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn first_stage_fallback_records_stage_panel_and_shift() {
+        // A panel whose conditioning violates the O(1/sqrt(eps)) bound makes
+        // the first-stage BCGS-PIP Cholesky break down; the scheme must take
+        // the shifted remedial path AND report which stage, which columns,
+        // and how large a shift it needed — not just bump a counter.
+        let v = testmat::logscaled_matrix(400, 8, 1e10, 7);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(8, 8);
+        let mut scheme = TwoStage::new(8, 8);
+        scheme
+            .orthogonalize_panel(&mut basis, 0..8, &mut r)
+            .unwrap();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let events = scheme.fallback_events();
+        assert!(
+            !events.is_empty(),
+            "a kappa=1e10 panel must force the remedial path"
+        );
+        for e in events {
+            assert!(e.shift > 0.0, "shifted CholQR must have applied a shift");
+            assert!(e.cols.end <= 8 && e.cols.start < e.cols.end);
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.stage == crate::traits::FallbackStage::PanelPreprocess));
+        // The aggregate equals the distinct-episode count of the events.
+        assert_eq!(
+            scheme.fallback_count(),
+            crate::traits::distinct_fallback_episodes(events)
+        );
+        // The remedy worked: the basis is orthonormal to machine precision.
+        assert!(orthogonality_error(&basis.local().cols(0..8)) < 1e-12);
+        // Reset clears the episode log with the rest of the state.
+        scheme.reset();
+        assert!(scheme.fallback_events().is_empty());
+        assert_eq!(scheme.fallback_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Cross-crate pins of the step-size controller's equivalence claims:
+//!
+//! * `StepPolicy::Fixed` is the default and leaves the solver exactly as it
+//!   was before the controller existed (the bitwise pins in
+//!   `tests/solver_cross_crate.rs` / `tests/distributed_equivalence.rs`
+//!   were written against the pre-controller solver and still pass; here
+//!   we additionally pin Fixed against a `Scheduled` replay of itself).
+//! * `StepPolicy::Auto` observing only healthy cycles is bitwise identical
+//!   to `Fixed` — solution bits, residual/shift/step histories, and every
+//!   communication counter.
+//! * `Auto`'s decisions cost **zero additional reductions**: replaying an
+//!   Auto solve's recorded `step_history` + `shift_history` through the
+//!   decision-free `Scheduled` policies reproduces the solve bitwise,
+//!   communication counts included — so at equal realized step sizes the
+//!   reduce/word counts are exactly those of a controller-less solve.
+//! * The acceptance headline: `Auto` rescues elasticity3d at a requested
+//!   `s = 8` — where `Fixed` breaks down — with no manual warm-up oracle.
+
+use sparse::{elasticity3d, laplace2d_9pt, Csr};
+use ssgmres::{
+    AutoStep, BasisStrategy, CycleVerdict, GmresConfig, OrthoKind, SStepGmres, SolveResult,
+    StepPolicy,
+};
+
+fn rhs_ones(a: &Csr) -> Vec<f64> {
+    a.spmv_alloc(&vec![1.0; a.nrows()])
+}
+
+fn max_err(x: &[f64]) -> f64 {
+    x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max)
+}
+
+/// Assert two solves are bitwise identical in every observable the replay
+/// claims cover: solution bits, counts, histories, and communication.
+fn assert_bitwise_equal(tag: &str, xa: &[f64], ra: &SolveResult, xb: &[f64], rb: &SolveResult) {
+    assert_eq!(xa, xb, "{tag}: solution bits diverge");
+    assert_eq!(ra.converged, rb.converged, "{tag}");
+    assert_eq!(ra.iterations, rb.iterations, "{tag}");
+    assert_eq!(ra.restarts, rb.restarts, "{tag}");
+    assert_eq!(ra.final_relres, rb.final_relres, "{tag}");
+    assert_eq!(ra.relres_history, rb.relres_history, "{tag}");
+    assert_eq!(ra.shift_history, rb.shift_history, "{tag}");
+    assert_eq!(ra.step_history, rb.step_history, "{tag}");
+    assert_eq!(ra.spmv_count, rb.spmv_count, "{tag}");
+    assert_eq!(ra.comm_total, rb.comm_total, "{tag}: total communication");
+    assert_eq!(ra.comm_ortho, rb.comm_ortho, "{tag}: ortho communication");
+}
+
+#[test]
+fn fixed_is_the_default_policy_and_replays_through_scheduled() {
+    assert_eq!(GmresConfig::default().step_policy, StepPolicy::Fixed);
+    let a = laplace2d_9pt(18, 18);
+    let b = rhs_ones(&a);
+    let config = GmresConfig {
+        restart: 30,
+        step_size: 5,
+        tol: 1e-9,
+        ortho: OrthoKind::TwoStage { big_panel: 30 },
+        ..GmresConfig::default()
+    };
+    let (x_fixed, r_fixed) = SStepGmres::new(config.clone()).solve_serial(&a, &b);
+    assert!(r_fixed.converged);
+    assert!(r_fixed.step_history.iter().all(|&s| s == 5));
+    assert_eq!(r_fixed.rescues, 0);
+    // A Scheduled replay of Fixed's step history is the same solve: the
+    // policy machinery adds nothing once the realized steps are equal.
+    let (x_replay, r_replay) = SStepGmres::new(GmresConfig {
+        step_policy: StepPolicy::Scheduled {
+            per_cycle: r_fixed.step_history.clone(),
+        },
+        ..config
+    })
+    .solve_serial(&a, &b);
+    assert_bitwise_equal(
+        "fixed vs scheduled replay",
+        &x_fixed,
+        &r_fixed,
+        &x_replay,
+        &r_replay,
+    );
+}
+
+#[test]
+fn auto_with_all_healthy_signals_is_bitwise_identical_to_fixed() {
+    // On a problem where every cycle is clean, Auto must never deviate:
+    // same solution bits, same histories, same communication counters —
+    // the monitoring itself is free and decision-free cycles change
+    // nothing.
+    let a = laplace2d_9pt(18, 18);
+    let b = rhs_ones(&a);
+    // big_panel < restart keeps `finalized` advancing, so the in-cycle
+    // convergence estimate fires before converged directions make the last
+    // panels of a cycle linearly dependent — every cycle stays clean.
+    let run = |policy: StepPolicy| {
+        SStepGmres::new(GmresConfig {
+            restart: 30,
+            step_size: 5,
+            tol: 1e-9,
+            ortho: OrthoKind::TwoStage { big_panel: 10 },
+            step_policy: policy,
+            ..GmresConfig::default()
+        })
+        .solve_serial(&a, &b)
+    };
+    let (x_fixed, r_fixed) = run(StepPolicy::Fixed);
+    let (x_auto, r_auto) = run(StepPolicy::auto());
+    assert!(r_fixed.converged && r_auto.converged);
+    assert!(
+        r_auto
+            .health_history
+            .iter()
+            .all(|h| h.verdict == CycleVerdict::Clean),
+        "premise: every cycle must be healthy: {:?}",
+        r_auto
+            .health_history
+            .iter()
+            .map(|h| h.verdict)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(r_auto.rescues, 0);
+    assert_bitwise_equal(
+        "auto(healthy) vs fixed",
+        &x_fixed,
+        &r_fixed,
+        &x_auto,
+        &r_auto,
+    );
+}
+
+#[test]
+fn auto_reduce_counts_equal_fixed_under_an_equal_step_budget() {
+    // Fixed iteration budget (tolerance unreachable): Auto on a healthy
+    // problem realizes the same steps as Fixed, so its reduce and word
+    // counts must be *exactly* Fixed's — the controller spends nothing.
+    let a = laplace2d_9pt(16, 16);
+    let b = rhs_ones(&a);
+    let run = |policy: StepPolicy| {
+        SStepGmres::new(GmresConfig {
+            restart: 20,
+            step_size: 5,
+            tol: 1e-30,
+            max_restarts: 3,
+            ortho: OrthoKind::TwoStage { big_panel: 20 },
+            step_policy: policy,
+            ..GmresConfig::default()
+        })
+        .solve_serial(&a, &b)
+        .1
+    };
+    let fixed = run(StepPolicy::Fixed);
+    let auto = run(StepPolicy::auto());
+    assert_eq!(fixed.step_history, auto.step_history, "realized steps");
+    assert_eq!(fixed.iterations, auto.iterations);
+    assert_eq!(
+        fixed.comm_total, auto.comm_total,
+        "Auto must cost zero additional reductions or words"
+    );
+    assert_eq!(fixed.comm_ortho, auto.comm_ortho);
+}
+
+#[test]
+fn auto_rescues_elasticity3d_at_requested_s8_with_no_manual_oracle() {
+    // The acceptance headline.  Premise: Fixed at s = 8 on elasticity3d
+    // breaks down in the very first monomial panel and cannot converge.
+    let a = elasticity3d(5, 5, 5);
+    let b = rhs_ones(&a);
+    let config = GmresConfig {
+        restart: 32,
+        step_size: 8,
+        tol: 1e-8,
+        ortho: OrthoKind::TwoStage { big_panel: 32 },
+        basis: BasisStrategy::Monomial,
+        ..GmresConfig::default()
+    };
+    let fixed = SStepGmres::new(config.clone()).solve_serial(&a, &b).1;
+    assert!(
+        !fixed.converged && fixed.breakdown.is_some(),
+        "premise: monomial s=8 must break down under Fixed: {fixed:?}"
+    );
+    // Auto: same configuration, one flag flipped, no oracle anywhere.
+    let (x, auto) = SStepGmres::new(GmresConfig {
+        step_policy: StepPolicy::auto(),
+        ..config
+    })
+    .solve_serial(&a, &b);
+    assert!(auto.converged, "{auto:?}");
+    assert!(max_err(&x) < 1e-5, "max err {}", max_err(&x));
+    assert!(auto.rescues >= 1, "a rescue must have happened");
+    assert_eq!(
+        auto.step_history[0], 8,
+        "first cycle runs at the requested step"
+    );
+    assert!(
+        auto.step_history.iter().any(|&s| s < 8),
+        "the rescue must have shrunk the step: {:?}",
+        auto.step_history
+    );
+    // The rescue re-harvested Newton shifts at the reduced step: some
+    // later cycle runs shifted (the automated warm-up oracle).
+    assert!(
+        auto.shift_history.iter().any(|s| !s.is_empty()),
+        "rescue must activate harvested shifts: {:?}",
+        auto.shift_history
+    );
+}
+
+#[test]
+fn auto_rescue_replays_bitwise_through_scheduled_steps_and_shifts() {
+    // The controller's entire effect must flow through the step sizes and
+    // shifts it selects.  Replaying a rescued Auto solve's recorded
+    // step_history + shift_history through the decision-free Scheduled
+    // policies reproduces it bitwise — communication counters included,
+    // which proves Auto's reduce/word counts at equal realized steps are
+    // exactly those of a controller-less solve (zero overhead).
+    let a = elasticity3d(5, 5, 5);
+    let b = rhs_ones(&a);
+    let config = GmresConfig {
+        restart: 32,
+        step_size: 8,
+        tol: 1e-8,
+        ortho: OrthoKind::TwoStage { big_panel: 32 },
+        basis: BasisStrategy::Monomial,
+        step_policy: StepPolicy::auto(),
+        ..GmresConfig::default()
+    };
+    let (x_auto, r_auto) = SStepGmres::new(config.clone()).solve_serial(&a, &b);
+    assert!(r_auto.converged && r_auto.rescues >= 1, "{r_auto:?}");
+    let (x_replay, r_replay) = SStepGmres::new(GmresConfig {
+        basis: BasisStrategy::Scheduled {
+            per_cycle: r_auto.shift_history.clone(),
+        },
+        step_policy: StepPolicy::Scheduled {
+            per_cycle: r_auto.step_history.clone(),
+        },
+        ..config
+    })
+    .solve_serial(&a, &b);
+    assert_bitwise_equal(
+        "auto rescue vs replay",
+        &x_auto,
+        &r_auto,
+        &x_replay,
+        &r_replay,
+    );
+}
+
+#[test]
+fn auto_probes_back_up_to_the_requested_step_after_clean_cycles() {
+    // With an unreachable tolerance the solve keeps cycling after the
+    // rescue: two clean cycles at the reduced step must regrow the step
+    // (doubling per probe) until the requested s = 8 is reached again —
+    // and the regrown cycle must complete on the harvested shifts instead
+    // of breaking down like the monomial first cycle did.
+    let a = elasticity3d(5, 5, 5);
+    let b = rhs_ones(&a);
+    let r = SStepGmres::new(GmresConfig {
+        restart: 16,
+        step_size: 8,
+        tol: 1e-30,
+        max_restarts: 8,
+        max_iters: 50_000,
+        ortho: OrthoKind::TwoStage { big_panel: 16 },
+        basis: BasisStrategy::Monomial,
+        step_policy: StepPolicy::auto(),
+    })
+    .solve_serial(&a, &b)
+    .1;
+    assert!(r.rescues >= 1);
+    let regrown = r
+        .step_history
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|&(i, &s)| s == 8 && r.step_history[i - 1] < 8);
+    let (i, _) =
+        regrown.unwrap_or_else(|| panic!("the step must probe back up to 8: {:?}", r.step_history));
+    assert_ne!(
+        r.health_history[i].verdict,
+        CycleVerdict::Breakdown,
+        "the regrown cycle must survive on the harvested shifts"
+    );
+    assert!(
+        !r.shift_history[i].is_empty(),
+        "the regrown cycle must run the harvested Newton shifts"
+    );
+    // Growth is gradual: each step is at most double its predecessor.
+    for w in r.step_history.windows(2) {
+        assert!(
+            w[1] <= w[0] * 2,
+            "probe must double at most: {:?}",
+            r.step_history
+        );
+    }
+}
+
+#[test]
+fn auto_at_step_one_degenerates_to_safe_standard_gmres_panels() {
+    // min_step = 1 is the rescue floor; a solve *requested* at s = 1 under
+    // Auto must behave exactly like Fixed at s = 1 (standard GMRES
+    // panels): healthy, no rescues, bitwise equal.
+    let a = laplace2d_9pt(14, 14);
+    let b = rhs_ones(&a);
+    let run = |policy: StepPolicy| {
+        SStepGmres::new(GmresConfig {
+            restart: 20,
+            step_size: 1,
+            tol: 1e-9,
+            ortho: OrthoKind::TwoStage { big_panel: 20 },
+            step_policy: policy,
+            ..GmresConfig::default()
+        })
+        .solve_serial(&a, &b)
+    };
+    let (x_fixed, r_fixed) = run(StepPolicy::Fixed);
+    let (x_auto, r_auto) = run(StepPolicy::auto());
+    assert!(r_fixed.converged && r_auto.converged);
+    assert_eq!(r_auto.rescues, 0);
+    assert_bitwise_equal("s=1 auto vs fixed", &x_fixed, &r_fixed, &x_auto, &r_auto);
+}
+
+#[test]
+fn auto_composes_with_the_adaptive_basis_strategy() {
+    // Adaptive re-harvests its own shifts; Auto only manages the step.
+    // Together they must still rescue the elasticity3d s = 8 scenario (the
+    // adaptive warm-up is monomial, so the first cycle breaks identically)
+    // and converge.
+    let a = elasticity3d(5, 5, 5);
+    let b = rhs_ones(&a);
+    let (x, r) = SStepGmres::new(GmresConfig {
+        restart: 32,
+        step_size: 8,
+        tol: 1e-8,
+        ortho: OrthoKind::TwoStage { big_panel: 32 },
+        basis: BasisStrategy::adaptive(),
+        step_policy: StepPolicy::auto(),
+        ..GmresConfig::default()
+    })
+    .solve_serial(&a, &b);
+    assert!(r.converged, "{r:?}");
+    assert!(max_err(&x) < 1e-5);
+    assert!(r.rescues >= 1);
+}
+
+#[test]
+fn custom_auto_knobs_are_honored() {
+    // A floor above 1 stops the shrink cascade early.
+    let a = elasticity3d(5, 5, 5);
+    let b = rhs_ones(&a);
+    let r = SStepGmres::new(GmresConfig {
+        restart: 16,
+        step_size: 8,
+        tol: 1e-8,
+        ortho: OrthoKind::TwoStage { big_panel: 16 },
+        basis: BasisStrategy::Monomial,
+        step_policy: StepPolicy::Auto(AutoStep {
+            min_step: 4,
+            ..AutoStep::default()
+        }),
+        ..GmresConfig::default()
+    })
+    .solve_serial(&a, &b)
+    .1;
+    assert!(
+        r.step_history.iter().all(|&s| s >= 4),
+        "min_step floor violated: {:?}",
+        r.step_history
+    );
+}
