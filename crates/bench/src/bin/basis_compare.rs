@@ -208,10 +208,11 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("basis_compare: {e}");
-            eprintln!("usage: basis_compare [--matrix <path.mtx>] [--partition block|nnz]");
+            eprintln!("usage: basis_compare [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]");
             std::process::exit(2);
         }
     };
+    bench::cli::start_tracing(&args.trace);
     let quick = quick();
     let svals: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8, 10] };
     let (lap_nx, surrogate_n, max_iters) = if quick {
@@ -312,4 +313,5 @@ fn main() {
             "acceptance: adaptive basis must be strictly better conditioned at s=8 on laplace2d"
         );
     }
+    bench::cli::finish_tracing(&args.trace);
 }

@@ -14,6 +14,15 @@ use sparse::{laplace2d_9pt, Laplace2d9ptRows};
 use ssgmres::{standard_gmres_config, GmresConfig, MulticolorGaussSeidel, OrthoKind, SStepGmres};
 
 fn main() {
+    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fig13: {e}");
+            eprintln!("usage: fig13 [--trace out.json]");
+            std::process::exit(2);
+        }
+    };
+    bench::cli::start_tracing(&trace_out);
     let nx_small = match scale() {
         Scale::Paper => 300usize,
         Scale::Small => 120usize,
@@ -122,4 +131,5 @@ fn main() {
          iteration, so the orthogonalization speedups persist while the total-time speedups are\n\
          somewhat diluted relative to the unpreconditioned runs."
     );
+    bench::cli::finish_tracing(&trace_out);
 }

@@ -377,6 +377,15 @@ fn write_json(rows: &[Row], quick: bool) -> String {
 }
 
 fn main() {
+    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kernels: {e}");
+            eprintln!("usage: kernels [--trace out.json]");
+            std::process::exit(2);
+        }
+    };
+    bench::cli::start_tracing(&trace_out);
     let quick = quick();
     let reps = if quick { 3 } else { 10 };
     // Thread sweep: 1 plus powers of two up to the pool width, so the
@@ -447,4 +456,5 @@ fn main() {
     if let (Some(g), Some(tn)) = (headline("gram"), headline("gemm_tn")) {
         println!("\nheadline single-thread speedups on 200000x8: gram {g:.2}x, gemm_tn {tn:.2}x");
     }
+    bench::cli::finish_tracing(&trace_out);
 }

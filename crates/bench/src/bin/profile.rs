@@ -1,0 +1,389 @@
+//! End-to-end observability profile: proves the tracing layer is free and
+//! joins what it measures against the analytic performance model.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin profile                    # full run
+//! BENCH_QUICK=1 cargo run -p bench --release --bin profile      # CI mode
+//! cargo run -p bench --release --bin profile -- --trace t.json  # custom path
+//! ```
+//!
+//! The run has four parts, each with hard assertions:
+//!
+//! 1. **Zero-cost check** — the same two-stage solve with tracing disabled
+//!    and enabled must be bitwise identical (solution, iteration counts,
+//!    and every `CommStats` counter, per-peer p2p tallies included), with
+//!    zero extra reductions and every span balanced.
+//! 2. **Per-rank timeline** — a 4-rank solve on the `distsim` substrate
+//!    records one labelled lane per rank (allreduce waits, halo pack/send,
+//!    p2p receives), written as Chrome trace-event JSON for
+//!    <https://ui.perfetto.dev>.
+//! 3. **Model-vs-measured words** — the words the tracing run measures for
+//!    one orthogonalization cycle must equal [`perfmodel::ortho_cycle_words`]
+//!    exactly (counts against [`perfmodel::ortho_reduce_count`]).
+//! 4. **Sync-vs-compute attribution** — every cycle's phase breakdown must
+//!    sum to within 5% of its measured wall time, and the cycle's `"comm"`
+//!    span time bounds its sync share.
+//!
+//! Outputs: `BENCH_profile.json` (flat aggregated report) and the timeline
+//! (`TRACE_profile.json` unless overridden with `--trace`).
+
+use blockortho::make_orthogonalizer;
+use distsim::{run_ranks, Communicator, DistCsr, SerialComm};
+use perfmodel::{
+    ortho_cycle_words, ortho_reduce_count, solver_time, MachineModel, ProblemSpec, SchemeKind,
+};
+use sparse::{block_row_partition, laplace2d_9pt, Laplace2d9ptRows};
+use ssgmres::{CycleTiming, GmresConfig, Identity, OrthoKind, SStepGmres, SolveResult};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn quick() -> bool {
+    matches!(
+        std::env::var("BENCH_QUICK").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Assert that two solves of the same problem are indistinguishable: same
+/// bits in the solution, same work, same communication — counter by
+/// counter, per-peer tallies included.
+fn assert_solves_identical(tag: &str, x0: &[f64], r0: &SolveResult, x1: &[f64], r1: &SolveResult) {
+    assert_eq!(x0, x1, "{tag}: solutions must be bitwise identical");
+    assert_eq!(r0.iterations, r1.iterations, "{tag}: iterations");
+    assert_eq!(r0.restarts, r1.restarts, "{tag}: restarts");
+    assert_eq!(r0.spmv_count, r1.spmv_count, "{tag}: spmv count");
+    assert_eq!(r0.relres_history, r1.relres_history, "{tag}: residuals");
+    assert_eq!(r0.comm_total, r1.comm_total, "{tag}: total comm stats");
+    assert_eq!(r0.comm_ortho, r1.comm_ortho, "{tag}: ortho comm stats");
+    assert_eq!(
+        r0.comm_total.allreduces, r1.comm_total.allreduces,
+        "{tag}: tracing must not add reductions"
+    );
+}
+
+/// Check the acceptance bound on one cycle's breakdown: the six phase
+/// buckets must sum to within 5% of the measured cycle wall time.
+fn assert_breakdown_sums(tag: &str, timings: &[CycleTiming]) {
+    for t in timings {
+        let total = t.total_ns.max(1);
+        let diff = t.segments_ns().abs_diff(t.total_ns);
+        assert!(
+            diff as f64 <= 0.05 * total as f64,
+            "{tag}: cycle {} breakdown sums to {} ns but measured {} ns",
+            t.cycle,
+            t.segments_ns(),
+            t.total_ns
+        );
+        assert!(
+            t.sync_ns <= t.total_ns,
+            "{tag}: cycle {} sync {} ns exceeds total {} ns",
+            t.cycle,
+            t.sync_ns,
+            t.total_ns
+        );
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct ModelJoin {
+    measured_cycle_words: usize,
+    predicted_cycle_words: usize,
+    measured_cycle_reduces: usize,
+    predicted_cycle_reduces: usize,
+    measured_solve_secs: f64,
+    modeled_solve_secs: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    quick: bool,
+    n: usize,
+    m: usize,
+    s: usize,
+    bs: usize,
+    timings: &[CycleTiming],
+    spans: &[trace::AggRow],
+    join: &ModelJoin,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"profile\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"problem\": {{\"n\": {n}, \"m\": {m}, \"s\": {s}, \"big_panel\": {bs}}},"
+    );
+    let total_ns: u64 = timings.iter().map(|t| t.total_ns).sum();
+    let sync_ns: u64 = timings.iter().map(|t| t.sync_ns).sum();
+    let _ = writeln!(
+        out,
+        "  \"sync_fraction\": {},",
+        json_f64(sync_ns as f64 / total_ns.max(1) as f64)
+    );
+    out.push_str("  \"cycles\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cycle\": {}, \"step\": {}, \"mpk_ns\": {}, \"ortho_ns\": {}, \"hess_ns\": {}, \"update_ns\": {}, \"residual_ns\": {}, \"other_ns\": {}, \"total_ns\": {}, \"sync_ns\": {}}}",
+            t.cycle,
+            t.step,
+            t.mpk_ns,
+            t.ortho_ns,
+            t.hess_ns,
+            t.update_ns,
+            t.residual_ns,
+            t.other_ns,
+            t.total_ns,
+            t.sync_ns
+        );
+        out.push_str(if i + 1 == timings.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"spans\": [\n");
+    for (i, row) in spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cat\": \"{}\", \"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+            row.cat, row.name, row.count, row.total_ns, row.max_ns
+        );
+        out.push_str(if i + 1 == spans.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"model_vs_measured\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"ortho_cycle_words_measured\": {},",
+        join.measured_cycle_words
+    );
+    let _ = writeln!(
+        out,
+        "    \"ortho_cycle_words_predicted\": {},",
+        join.predicted_cycle_words
+    );
+    let _ = writeln!(
+        out,
+        "    \"ortho_cycle_reduces_measured\": {},",
+        join.measured_cycle_reduces
+    );
+    let _ = writeln!(
+        out,
+        "    \"ortho_cycle_reduces_predicted\": {},",
+        join.predicted_cycle_reduces
+    );
+    let _ = writeln!(
+        out,
+        "    \"solve_secs_measured\": {},",
+        json_f64(join.measured_solve_secs)
+    );
+    let _ = writeln!(
+        out,
+        "    \"solve_secs_vortex_model\": {},",
+        json_f64(join.modeled_solve_secs)
+    );
+    let _ = writeln!(
+        out,
+        "    \"measured_over_model\": {}",
+        json_f64(join.measured_solve_secs / join.modeled_solve_secs)
+    );
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            eprintln!("usage: profile [--trace out.json]");
+            std::process::exit(2);
+        }
+    };
+    let trace_out = Some(trace_out.unwrap_or_else(|| PathBuf::from("TRACE_profile.json")));
+    let quick = quick();
+    let nx = if quick { 48 } else { 96 };
+    let (m, s, bs) = (60usize, 5usize, 30usize);
+    let a = laplace2d_9pt(nx, nx);
+    let n = a.nrows();
+    let b = a.spmv_alloc(&vec![1.0; n]);
+    let config = GmresConfig {
+        restart: m,
+        step_size: s,
+        tol: 1e-10,
+        ortho: OrthoKind::TwoStage { big_panel: bs },
+        ..GmresConfig::default()
+    };
+    let solver = SStepGmres::new(config.clone());
+    // Both runs use the same pool width so "identical" means identical.
+    parkit::set_num_threads(2.min(parkit::pool_lanes()));
+
+    // --- Part 1: the disabled path must be provably free. ---
+    eprintln!("part 1: tracing-disabled vs tracing-enabled solve ({nx}x{nx} 9-pt Laplace) ...");
+    trace::set_enabled(false);
+    trace::clear();
+    let t0 = Instant::now();
+    let (x_off, r_off) = solver.solve_serial(&a, &b);
+    let secs_off = t0.elapsed().as_secs_f64();
+    assert!(r_off.converged, "baseline solve must converge: {r_off:?}");
+    assert!(
+        r_off.cycle_timings.iter().all(|t| t.sync_ns == 0),
+        "sync attribution must be exactly 0 with tracing disabled"
+    );
+
+    bench::cli::start_tracing(&trace_out);
+    let t0 = Instant::now();
+    let (x_on, r_on) = solver.solve_serial(&a, &b);
+    let secs_on = t0.elapsed().as_secs_f64();
+    assert_solves_identical("serial", &x_off, &r_off, &x_on, &r_on);
+    let stats = trace::stats();
+    assert_eq!(stats.open_spans, 0, "all spans must be balanced");
+    assert!(stats.events > 0, "the enabled run must record spans");
+    assert!(
+        r_on.cycle_timings.iter().any(|t| t.sync_ns > 0),
+        "the enabled run must attribute sync time"
+    );
+    eprintln!(
+        "  identical: {} iterations, {} allreduces, solve {:.3}s off / {:.3}s on",
+        r_on.iterations, r_on.comm_total.allreduces, secs_off, secs_on
+    );
+
+    // --- Part 2: per-rank timeline on the distsim substrate. ---
+    let nranks = 4usize.min(n);
+    eprintln!("part 2: {nranks}-rank distributed solve for the per-rank timeline ...");
+    let rows = Laplace2d9ptRows { nx, ny: nx };
+    let part = block_row_partition(n, nranks);
+    let per_rank = run_ranks(nranks, |comm| {
+        let rank = comm.rank();
+        let (lo, hi) = part.range(rank);
+        let comm_dyn: Arc<dyn Communicator> = comm;
+        let dist = DistCsr::from_row_source(comm_dyn.clone(), &part, &rows);
+        let mut x = vec![0.0; hi - lo];
+        let result = SStepGmres::new(config.clone()).solve(&dist, &Identity, &b[lo..hi], &mut x);
+        (result.converged, comm_dyn.stats().snapshot())
+    });
+    for (rank, (converged, snap)) in per_rank.iter().enumerate() {
+        assert!(converged, "rank {rank} must converge");
+        if nranks > 1 {
+            assert!(
+                !snap.p2p_peers.is_empty(),
+                "rank {rank} must have per-peer p2p tallies"
+            );
+        }
+    }
+    assert_eq!(trace::stats().open_spans, 0, "rank spans must be balanced");
+
+    // --- Part 3: measured ortho words vs the analytic model. ---
+    eprintln!("part 3: one orthogonalization cycle vs perfmodel volumes ...");
+    let scheme = SchemeKind::TwoStage { bs };
+    let v = dense::Matrix::from_fn(300.max(3 * (m + 1)), m + 1, |i, j| {
+        ((i * 7 + j * 3) % 13) as f64 * 0.2 + if i == j { 3.0 } else { 0.0 }
+    });
+    let mut basis = distsim::DistMultiVector::from_matrix(SerialComm::new(), v);
+    let mut r = dense::Matrix::zeros(m + 1, m + 1);
+    let mut ortho = make_orthogonalizer(OrthoKind::TwoStage { big_panel: bs }, m + 1);
+    ortho.orthogonalize_panel(&mut basis, 0..1, &mut r).unwrap();
+    let before = basis.comm().stats().snapshot();
+    let mut col = 1;
+    while col < m + 1 {
+        ortho
+            .orthogonalize_panel(&mut basis, col..col + s, &mut r)
+            .unwrap();
+        col += s;
+    }
+    ortho.finish(&mut basis, &mut r).unwrap();
+    let delta = basis.comm().stats().snapshot().since(&before);
+    let join = ModelJoin {
+        measured_cycle_words: delta.allreduce_words,
+        predicted_cycle_words: ortho_cycle_words(scheme, m, s),
+        measured_cycle_reduces: delta.allreduces,
+        predicted_cycle_reduces: ortho_reduce_count(scheme, m, s),
+        measured_solve_secs: secs_on,
+        modeled_solve_secs: solver_time(
+            scheme,
+            &ProblemSpec::laplace2d(nx, 9, 1),
+            &MachineModel::vortex_node(),
+            1,
+            s,
+            m,
+            r_on.iterations,
+            0,
+        )
+        .total(),
+    };
+    assert_eq!(
+        join.measured_cycle_words, join.predicted_cycle_words,
+        "measured cycle words must match ortho_cycle_words"
+    );
+    assert_eq!(
+        join.measured_cycle_reduces, join.predicted_cycle_reduces,
+        "measured cycle reduces must match ortho_reduce_count"
+    );
+
+    // --- Part 4: per-cycle breakdown and the final report. ---
+    eprintln!("part 4: per-cycle sync-vs-compute breakdown ...");
+    assert_breakdown_sums("disabled", &r_off.cycle_timings);
+    assert_breakdown_sums("enabled", &r_on.cycle_timings);
+
+    let timeline = trace::collect();
+    let spans = timeline.merged_spans();
+    let comm_span_ns = timeline.category_ns("comm");
+    let total_sync_ns: u64 = r_on.cycle_timings.iter().map(|t| t.sync_ns).sum();
+    assert!(
+        total_sync_ns <= comm_span_ns,
+        "solver sync attribution ({total_sync_ns} ns) cannot exceed all comm span time ({comm_span_ns} ns)"
+    );
+
+    let header = [
+        "cycle", "step", "MPK", "ortho", "hess", "update", "residual", "sync", "total",
+    ];
+    let pct = |part: u64, total: u64| format!("{:.0}%", 100.0 * part as f64 / total.max(1) as f64);
+    let table: Vec<Vec<String>> = r_on
+        .cycle_timings
+        .iter()
+        .map(|t| {
+            vec![
+                t.cycle.to_string(),
+                t.step.to_string(),
+                pct(t.mpk_ns, t.total_ns),
+                pct(t.ortho_ns, t.total_ns),
+                pct(t.hess_ns, t.total_ns),
+                pct(t.update_ns, t.total_ns),
+                pct(t.residual_ns, t.total_ns),
+                pct(t.sync_ns, t.total_ns),
+                format!("{:.2}ms", t.total_ns as f64 / 1e6),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "per-cycle time breakdown (share of cycle wall time)",
+        &header,
+        &table,
+    );
+
+    let json = write_json(quick, n, m, s, bs, &r_on.cycle_timings, &spans, &join);
+    trace::validate_json(&json).expect("BENCH_profile.json must be valid JSON");
+    std::fs::write("BENCH_profile.json", &json).expect("write BENCH_profile.json");
+    eprintln!(
+        "wrote BENCH_profile.json ({} cycles, {} span kinds, sync fraction {:.1}%)",
+        r_on.cycle_timings.len(),
+        spans.len(),
+        100.0 * total_sync_ns as f64
+            / r_on
+                .cycle_timings
+                .iter()
+                .map(|t| t.total_ns)
+                .sum::<u64>()
+                .max(1) as f64
+    );
+
+    bench::cli::finish_tracing(&trace_out);
+    parkit::set_num_threads(0);
+}

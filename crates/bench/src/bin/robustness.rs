@@ -233,10 +233,11 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("robustness: {e}");
-            eprintln!("usage: robustness [--matrix <path.mtx>] [--partition block|nnz]");
+            eprintln!("usage: robustness [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]");
             std::process::exit(2);
         }
     };
+    bench::cli::start_tracing(&args.trace);
     let quick = quick();
     let mut rows = Vec::new();
     let dist_summary: Option<(String, Vec<usize>, f64, bool)>;
@@ -397,4 +398,5 @@ fn main() {
     let json = write_json(&rows, quick, args.partition, dist_summary.as_ref());
     std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
     eprintln!("wrote BENCH_robustness.json ({} rows)", rows.len());
+    bench::cli::finish_tracing(&args.trace);
 }

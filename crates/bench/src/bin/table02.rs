@@ -11,29 +11,60 @@
 
 use bench::{print_table, scale, secs, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
-use sparse::{laplace2d_5pt, Laplace2d5ptRows};
-use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
+use sparse::{laplace2d_5pt, Csr, Laplace2d5ptRows};
+use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres, SolveResult};
 
 fn main() {
+    let args = match bench::cli::parse_matrix_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("table02: {e}");
+            eprintln!(
+                "usage: table02 [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]"
+            );
+            std::process::exit(2);
+        }
+    };
+    bench::cli::start_tracing(&args.trace);
     let nx_small = match scale() {
         Scale::Paper => 400usize,
         Scale::Small => 160usize,
     };
     let m = 60;
     let s = 5;
-    // The solver consumes the operator as a streamed row provider; the
-    // replicated matrix exists only to form the right-hand side.
-    let rows = Laplace2d5ptRows {
-        nx: nx_small,
-        ny: nx_small,
+    // The measured part runs either the built-in 2D Laplace surrogate or a
+    // real Matrix Market file (`--matrix`), with the solution pinned to all
+    // ones in both cases so the error column stays meaningful.
+    let (name, a): (String, Csr) = match &args.matrix {
+        Some(path) => bench::cli::load_matrix_streamed(path).unwrap_or_else(|e| {
+            eprintln!("table02: {e}");
+            std::process::exit(2);
+        }),
+        None => (
+            format!("2D Laplace {nx_small}x{nx_small}"),
+            laplace2d_5pt(nx_small, nx_small),
+        ),
     };
-    let a = laplace2d_5pt(nx_small, nx_small);
+    let m = m.min(a.nrows());
+    let s = s.min(m);
     let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
 
     // --- Part 1: real solves at reduced size. ---
     let mut measured = Vec::new();
     let mut run = |label: &str, config: GmresConfig| {
-        let (x, result) = SStepGmres::new(config).solve_serial_from_rows(&rows, &b);
+        let (x, result): (Vec<f64>, SolveResult) = match &args.matrix {
+            // File mode keeps the replicated matrix it already streamed in.
+            Some(_) => SStepGmres::new(config).solve_serial(&a, &b),
+            // Surrogate mode streams the operator from its row provider, so
+            // no global matrix is materialized for the solve itself.
+            None => SStepGmres::new(config).solve_serial_from_rows(
+                &Laplace2d5ptRows {
+                    nx: nx_small,
+                    ny: nx_small,
+                },
+                &b,
+            ),
+        };
         let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
         measured.push(vec![
             label.to_string(),
@@ -67,6 +98,7 @@ fn main() {
         },
     );
     for bs in [5usize, 20, 40, 60] {
+        let bs = bs.min(m);
         run(
             &format!("two-stage bs={bs}"),
             GmresConfig {
@@ -79,9 +111,26 @@ fn main() {
         );
     }
     print_table(
-        &format!("Table II (part 1): measured solves of 2D Laplace {nx_small}x{nx_small} (solution = all ones)"),
-        &["variant", "# iters", "ortho reduces", "final relres", "max |x-1|", "converged"],
+        &format!("Table II (part 1): measured solves of {name} (solution = all ones)"),
+        &[
+            "variant",
+            "# iters",
+            "ortho reduces",
+            "final relres",
+            "max |x-1|",
+            "converged",
+        ],
         &measured,
+    );
+    // How the distributed runs would split this operator across 4 ranks
+    // under the chosen partition strategy.
+    let part = bench::cli::partition_rows(&a, args.partition, 4.min(a.nrows()));
+    println!(
+        "\npartition {} over {} ranks: per-rank nnz {:?}, imbalance {:.2}",
+        args.partition.label(),
+        part.nranks(),
+        bench::cli::per_rank_nnz(&a, &part),
+        bench::cli::partition_imbalance(&a, &part)
     );
 
     // --- Part 2: modeled times at the paper's scale. ---
@@ -137,4 +186,5 @@ fn main() {
         "\nExpected shape (paper Table II): Ortho time decreases monotonically with bs,\n\
          best total time at bs = m = 60; SpMV time is essentially unchanged."
     );
+    bench::cli::finish_tracing(&args.trace);
 }

@@ -10,6 +10,15 @@ use bench::{print_table, secs, speedup};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
 
 fn main() {
+    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("table03: {e}");
+            eprintln!("usage: table03 [--trace out.json]");
+            std::process::exit(2);
+        }
+    };
+    bench::cli::start_tracing(&trace_out);
     let machine = MachineModel::summit_node();
     let s = 5;
     let m = 60;
@@ -71,4 +80,5 @@ fn main() {
          paper reports ortho speedups of 1.8x/3.1x (1 node) growing to 2.1x/5.4x (32 nodes)\n\
          for s-step/two-stage over standard GMRES."
     );
+    bench::cli::finish_tracing(&trace_out);
 }

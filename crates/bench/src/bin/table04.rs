@@ -70,6 +70,15 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn main() {
+    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("table04: {e}");
+            eprintln!("usage: table04 [--trace out.json]");
+            std::process::exit(2);
+        }
+    };
+    bench::cli::start_tracing(&trace_out);
     let s = 5;
     let m = 60;
     let machine = MachineModel::summit_node();
@@ -182,4 +191,5 @@ fn main() {
          speedups of ~1.3-1.8x, ~1.8-2.5x and ~2.2-2.9x; denser matrices (dielFilterV2real,\n\
          ML_Geer) spend relatively more time in SpMV, so their total speedups are at the lower end."
     );
+    bench::cli::finish_tracing(&trace_out);
 }

@@ -43,6 +43,9 @@ pub struct MatrixArgs {
     pub matrix: Option<PathBuf>,
     /// Row-partition strategy for the distributed checks.
     pub partition: PartitionKind,
+    /// Where to write a Chrome trace-event timeline of the run
+    /// (`--trace out.json`; open at <https://ui.perfetto.dev>).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for MatrixArgs {
@@ -50,13 +53,15 @@ impl Default for MatrixArgs {
         Self {
             matrix: None,
             partition: PartitionKind::Block,
+            trace: None,
         }
     }
 }
 
-/// Parse `--matrix <path.mtx>` and `--partition <block|nnz>` from an
-/// argument iterator (unrecognized arguments are an error, so typos fail
-/// loudly instead of silently running the default problem set).
+/// Parse `--matrix <path.mtx>`, `--partition <block|nnz>`, and
+/// `--trace <out.json>` from an argument iterator (unrecognized arguments
+/// are an error, so typos fail loudly instead of silently running the
+/// default problem set).
 pub fn parse_matrix_args<I: Iterator<Item = String>>(args: I) -> Result<MatrixArgs, String> {
     let mut out = MatrixArgs::default();
     let mut args = args;
@@ -74,10 +79,76 @@ pub fn parse_matrix_args<I: Iterator<Item = String>>(args: I) -> Result<MatrixAr
                     other => return Err(format!("unknown partition kind '{other}' (block|nnz)")),
                 };
             }
+            "--trace" => {
+                let path = args.next().ok_or("--trace requires a path argument")?;
+                out.trace = Some(PathBuf::from(path));
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
     Ok(out)
+}
+
+/// Parse only `--trace <out.json>` — for the figure/table binaries that take
+/// no matrix arguments but still support timeline capture.
+pub fn parse_trace_arg<I: Iterator<Item = String>>(args: I) -> Result<Option<PathBuf>, String> {
+    let mut out = None;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let path = args.next().ok_or("--trace requires a path argument")?;
+                out = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Turn the tracing layer on (with a generous ring) when the binary was
+/// given `--trace`.  Call once at the top of `main`.
+pub fn start_tracing(trace: &Option<PathBuf>) {
+    if trace.is_none() {
+        return;
+    }
+    if trace::compiled_out() {
+        eprintln!("--trace requested but the trace crate was built with the `off` feature");
+        return;
+    }
+    trace::set_capacity(1 << 20);
+    trace::set_enabled(true);
+    trace::set_thread_label("main");
+}
+
+/// Stop tracing, render the recorded timeline as Chrome trace-event JSON,
+/// and write it to the `--trace` path.  Call once at the end of `main`.
+pub fn finish_tracing(trace: &Option<PathBuf>) {
+    let Some(path) = trace else { return };
+    if trace::compiled_out() {
+        return;
+    }
+    trace::set_enabled(false);
+    let timeline = trace::collect();
+    let stats = trace::stats();
+    let json = timeline.to_chrome_json();
+    if let Err(e) = trace::validate_json(&json) {
+        eprintln!("internal error: trace JSON failed validation: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!(
+            "wrote {} ({} events on {} threads, {} dropped) — open at https://ui.perfetto.dev",
+            path.display(),
+            stats.events,
+            timeline.threads.len(),
+            stats.dropped
+        ),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Load a Matrix Market file through the **streaming** row-block reader
@@ -156,6 +227,25 @@ mod tests {
                 .is_err()
         );
         assert!(parse_matrix_args(["--matrix".to_string()].into_iter()).is_err());
+        assert!(parse_trace_arg(["--trace".to_string()].into_iter()).is_err());
+        assert!(
+            parse_trace_arg(["--matrix".to_string(), "a.mtx".to_string()].into_iter()).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_the_trace_flag_in_both_parsers() {
+        let full = parse_matrix_args(
+            ["--trace", "out.json", "--partition", "nnz"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(full.trace.as_deref(), Some(Path::new("out.json")));
+        assert_eq!(full.partition, PartitionKind::Nnz);
+        let only = parse_trace_arg(["--trace", "t.json"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(only.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(parse_trace_arg(std::iter::empty()).unwrap(), None);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! | `fig13` | Fig. 13 — time/iteration with a Gauss–Seidel preconditioner |
 //! | `basis_compare` | Extension — monomial vs. Newton vs. adaptive basis conditioning (`BENCH_basis.json`) |
 //! | `kernels` | Kernel baselines — blocked vs. naive BLAS-3 (`BENCH_kernels.json`) |
+//! | `profile` | Observability — traced solve, per-cycle sync-vs-compute breakdown, model-vs-measured report (`BENCH_profile.json`, `TRACE_profile.json`) |
+//!
+//! Every binary accepts `--trace <out.json>` and then writes a Chrome
+//! trace-event timeline of the run (open at <https://ui.perfetto.dev>).
 //!
 //! Every binary prints a plain-text table with the same rows/series as the
 //! paper and accepts the environment variable `REPRO_SCALE` (default

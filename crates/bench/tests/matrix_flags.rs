@@ -104,10 +104,54 @@ fn robustness_accepts_matrix_and_partition_flags() {
 }
 
 #[test]
+fn table02_accepts_matrix_partition_and_trace_flags() {
+    // table02 prints tables instead of writing JSON, so drive it with
+    // --trace too and check the timeline artifact it leaves behind.
+    let dir = scratch("table02");
+    let output = Command::new(env!("CARGO_BIN_EXE_table02"))
+        .args([
+            "--matrix",
+            fixture().to_str().unwrap(),
+            "--partition",
+            "nnz",
+            "--trace",
+            "table02_trace.json",
+        ])
+        .env("BENCH_QUICK", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("binary must launch");
+    assert!(
+        output.status.success(),
+        "table02 failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("laplace_6x6"),
+        "table02 must run the provided matrix:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("partition nnz"),
+        "table02 must report the chosen partition:\n{stdout}"
+    );
+    let trace_json = std::fs::read_to_string(dir.join("table02_trace.json"))
+        .expect("table02 must write the --trace timeline");
+    trace::validate_json(&trace_json).expect("timeline must be valid JSON");
+    assert!(
+        trace_json.contains("\"traceEvents\""),
+        "timeline must be Chrome trace-event JSON"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn binaries_reject_bad_flags() {
     for exe in [
         env!("CARGO_BIN_EXE_basis_compare"),
         env!("CARGO_BIN_EXE_robustness"),
+        env!("CARGO_BIN_EXE_table02"),
     ] {
         let output = Command::new(exe)
             .args(["--matrix"])

@@ -43,6 +43,7 @@ pub mod hessenberg;
 pub mod precond;
 pub mod shifts;
 pub mod solver;
+pub mod timing;
 
 pub use basis::{AdaptiveBasis, BasisStrategy, KrylovBasis};
 pub use control::{AutoStep, CycleHealth, CycleVerdict, StepController, StepDecision, StepPolicy};
@@ -51,6 +52,7 @@ pub use precond::{
     BlockJacobiGaussSeidel, Identity, Jacobi, MulticolorGaussSeidel, Polynomial, Preconditioner,
 };
 pub use solver::{standard_gmres_config, GmresConfig, SStepGmres, SolveResult};
+pub use timing::CycleTiming;
 
 // Re-export the orthogonalization selector (and the per-stage fallback
 // detail surfaced in CycleHealth) so downstream users configure the solver

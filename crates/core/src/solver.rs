@@ -5,6 +5,7 @@ use crate::control::{self, CycleHealth, StepController, StepPolicy};
 use crate::hessenberg::HessenbergRecovery;
 use crate::precond::{Identity, Preconditioner};
 use crate::shifts;
+use crate::timing::{CycleClock, CycleTiming, Phase};
 use blockortho::{make_orthogonalizer, FallbackEvent, OrthoKind};
 use dense::Matrix;
 use distsim::{CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, SerialComm};
@@ -110,6 +111,12 @@ pub struct SolveResult {
     /// Number of step-shrink rescues [`StepPolicy::Auto`] took (0 under
     /// `Fixed`/`Scheduled`).
     pub rescues: usize,
+    /// Per-cycle wall-time breakdown (one entry per started cycle, aligned
+    /// with `step_history`/`health_history`): matrix-powers kernel, block
+    /// orthogonalization, Hessenberg recovery, solution update, residual
+    /// check, and — when the [`trace`] layer is enabled — the cycle's
+    /// synchronization share measured from `"comm"`-category spans.
+    pub cycle_timings: Vec<CycleTiming>,
 }
 
 /// The restarted s-step GMRES solver.
@@ -249,6 +256,7 @@ impl SStepGmres {
         let mut controller = StepController::new(self.config.step_policy.clone(), s_req, m);
         let mut step_history: Vec<usize> = Vec::new();
         let mut health_history: Vec<CycleHealth> = Vec::new();
+        let mut cycle_timings: Vec<CycleTiming> = Vec::new();
 
         // Reusable buffers.
         let mut basis =
@@ -278,6 +286,7 @@ impl SStepGmres {
                 step_history: Vec::new(),
                 health_history: Vec::new(),
                 rescues: 0,
+                cycle_timings: Vec::new(),
             };
         }
         let target = self.config.tol * r0_norm;
@@ -303,6 +312,18 @@ impl SStepGmres {
             });
             step_history.push(s);
             cycles_started += 1;
+            // Per-cycle wall-time breakdown: plain clock reads, always on
+            // (does not touch the arithmetic).  The trace span only fires
+            // when the tracing layer is enabled.
+            let mut clock = CycleClock::start(cycles_started - 1, s);
+            let _cycle_span = trace::span2(
+                "solver",
+                "cycle",
+                "cycle",
+                (cycles_started - 1) as u64,
+                "step",
+                s as u64,
+            );
             // Start a new cycle: column 0 = r/γ.
             for entry in r_factor.data_mut().iter_mut() {
                 *entry = 0.0;
@@ -314,8 +335,13 @@ impl SStepGmres {
             // Submit column 0 as the first (single-column) panel so every
             // scheme sees its panels starting at column 0.
             let before = comm.stats().snapshot();
-            let first = ortho.orthogonalize_panel(&mut basis, 0..1, &mut r_factor);
+            clock.lap(Phase::Other);
+            let first = {
+                let _sp = trace::span2("solver", "ortho", "start", 0, "cols", 1);
+                ortho.orthogonalize_panel(&mut basis, 0..1, &mut r_factor)
+            };
             comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
+            clock.lap(Phase::Ortho);
             let mut cycle_breakdown: Option<String> = None;
             if let Err(e) = first {
                 // Fatal: the residual column itself could not be
@@ -335,6 +361,7 @@ impl SStepGmres {
                     None,
                     &relres_history,
                 ));
+                cycle_timings.push(clock.finish());
                 break 'outer;
             }
             let mut cols = 1usize; // basis columns filled and submitted
@@ -343,31 +370,40 @@ impl SStepGmres {
             while cols < m + 1 && iterations < self.config.max_iters {
                 let k = s.min(m + 1 - cols);
                 // --- Matrix-powers kernel: generate k new columns. ---
-                for t in 0..k {
-                    let input = cols - 1 + t;
-                    if t == 0 {
-                        // The panel-start input had already been handed to
-                        // the orthogonalizer.
-                        hess.mark_submitted_input(input);
-                    }
-                    precond.apply(basis.local().col(input), &mut z);
-                    precond_count += 1;
-                    a.spmv(&z, &mut w);
-                    spmv_count += 1;
-                    let theta = current_basis.shift(input);
-                    if theta != 0.0 {
-                        let u = basis.local().col(input).to_vec();
-                        for (wi, ui) in w.iter_mut().zip(&u) {
-                            *wi -= theta * ui;
+                {
+                    let _sp = trace::span2("solver", "mpk", "start", cols as u64, "k", k as u64);
+                    for t in 0..k {
+                        let input = cols - 1 + t;
+                        if t == 0 {
+                            // The panel-start input had already been handed to
+                            // the orthogonalizer.
+                            hess.mark_submitted_input(input);
                         }
+                        precond.apply(basis.local().col(input), &mut z);
+                        precond_count += 1;
+                        a.spmv(&z, &mut w);
+                        spmv_count += 1;
+                        let theta = current_basis.shift(input);
+                        if theta != 0.0 {
+                            let u = basis.local().col(input).to_vec();
+                            for (wi, ui) in w.iter_mut().zip(&u) {
+                                *wi -= theta * ui;
+                            }
+                        }
+                        basis.local_mut().col_mut(cols + t).copy_from_slice(&w);
                     }
-                    basis.local_mut().col_mut(cols + t).copy_from_slice(&w);
                 }
                 iterations += k;
+                clock.lap(Phase::Mpk);
                 // --- Block orthogonalization of the new panel. ---
                 let before = comm.stats().snapshot();
-                let status = ortho.orthogonalize_panel(&mut basis, cols..cols + k, &mut r_factor);
+                let status = {
+                    let _sp =
+                        trace::span2("solver", "ortho", "start", cols as u64, "cols", k as u64);
+                    ortho.orthogonalize_panel(&mut basis, cols..cols + k, &mut r_factor)
+                };
                 comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
+                clock.lap(Phase::Ortho);
                 match status {
                     Ok(()) => {
                         consecutive_breakdowns = 0;
@@ -385,6 +421,7 @@ impl SStepGmres {
                 // --- Convergence estimate on the finalized prefix. ---
                 let finalized = ortho.finalized_cols().unwrap_or(cols).min(cols);
                 if finalized >= 2 {
+                    let hess_span = trace::span1("solver", "hess", "cols", finalized as u64);
                     hess.recover_upto(
                         finalized - 1,
                         &r_factor,
@@ -392,16 +429,25 @@ impl SStepGmres {
                         &current_basis,
                     );
                     let (_, res_est) = hess.least_squares(finalized - 1, gamma);
-                    if res_est <= target {
+                    let done = res_est <= target;
+                    drop(hess_span);
+                    clock.lap(Phase::Hess);
+                    if done {
                         cycle_converged_est = true;
                         break;
                     }
+                } else {
+                    clock.lap(Phase::Hess);
                 }
             }
 
             // --- Complete delayed orthogonalization and the projected solve. ---
             let before = comm.stats().snapshot();
-            if let Err(e) = ortho.finish(&mut basis, &mut r_factor) {
+            let finish_status = {
+                let _sp = trace::span("solver", "ortho_finish");
+                ortho.finish(&mut basis, &mut r_factor)
+            };
+            if let Err(e) = finish_status {
                 let msg = format!("finish: {e}");
                 if breakdown.is_none() {
                     breakdown = Some(msg.clone());
@@ -412,6 +458,7 @@ impl SStepGmres {
                 consecutive_breakdowns += 1;
             }
             comm_ortho = comm_ortho.merge(&comm.stats().snapshot().since(&before));
+            clock.lap(Phase::Ortho);
             let cycle_fallbacks = ortho.fallback_count();
             let cycle_events = ortho.fallback_events().to_vec();
             ortho_fallbacks += cycle_fallbacks;
@@ -437,6 +484,17 @@ impl SStepGmres {
                 );
                 let decision = controller.observe(&health);
                 health_history.push(health);
+                if decision.shrunk() {
+                    trace::instant2(
+                        "solver",
+                        "step_shrink",
+                        "cycle",
+                        (cycles_started - 1) as u64,
+                        "step",
+                        s as u64,
+                    );
+                }
+                cycle_timings.push(clock.finish());
                 if !decision.shrunk() && (no_progress_cycles >= 2 || consecutive_breakdowns >= 3) {
                     break 'outer;
                 }
@@ -456,6 +514,7 @@ impl SStepGmres {
                 continue;
             }
             no_progress_cycles = 0;
+            let hess_span = trace::span1("solver", "hess", "cols", k_use as u64);
             hess.recover_upto(
                 k_use,
                 &r_factor,
@@ -499,19 +558,29 @@ impl SStepGmres {
                 };
             }
             let (y, _) = hess.least_squares(k_use, gamma);
+            drop(hess_span);
+            clock.lap(Phase::Hess);
             // Solution update: x ← x + M⁻¹·(Q_{0..k_use}·y).
-            let mut qy = vec![0.0; nloc];
-            dense::gemv_plus(&basis.local_cols(0..k_use), &y, &mut qy);
-            precond.apply(&qy, &mut z);
-            precond_count += 1;
-            for (xi, zi) in x_local.iter_mut().zip(&z) {
-                *xi += zi;
+            {
+                let _sp = trace::span1("solver", "update", "cols", k_use as u64);
+                let mut qy = vec![0.0; nloc];
+                dense::gemv_plus(&basis.local_cols(0..k_use), &y, &mut qy);
+                precond.apply(&qy, &mut z);
+                precond_count += 1;
+                for (xi, zi) in x_local.iter_mut().zip(&z) {
+                    *xi += zi;
+                }
             }
             restarts += 1;
+            clock.lap(Phase::Update);
             // True residual for the next cycle / convergence verification.
-            residual = compute_residual(a, x_local, b_local, &mut spmv_count);
-            gamma = global_norm(&residual, comm.as_ref());
+            {
+                let _sp = trace::span("solver", "residual");
+                residual = compute_residual(a, x_local, b_local, &mut spmv_count);
+                gamma = global_norm(&residual, comm.as_ref());
+            }
             relres_history.push(gamma / r0_norm);
+            clock.lap(Phase::Residual);
             // Cycle health: every signal is local or replicated (R factor
             // diagonal, fallback events, the residual already reduced
             // above), so assembling and acting on the report costs zero
@@ -528,8 +597,19 @@ impl SStepGmres {
                 Some(gamma / r0_norm),
                 &relres_history,
             );
-            controller.observe(&health);
+            let decision = controller.observe(&health);
             health_history.push(health);
+            if decision.shrunk() {
+                trace::instant2(
+                    "solver",
+                    "step_shrink",
+                    "cycle",
+                    (cycles_started - 1) as u64,
+                    "step",
+                    s as u64,
+                );
+            }
+            cycle_timings.push(clock.finish());
             if gamma <= target {
                 converged = true;
                 break;
@@ -566,6 +646,7 @@ impl SStepGmres {
             step_history,
             health_history,
             rescues: controller.shrinks(),
+            cycle_timings,
         }
     }
 }
@@ -940,6 +1021,35 @@ mod tests {
             }),
             ..GmresConfig::default()
         });
+    }
+
+    #[test]
+    fn every_cycle_gets_a_time_breakdown() {
+        let a = laplace2d_5pt(20, 20);
+        let b = rhs_for_ones(&a);
+        let solver = SStepGmres::new(GmresConfig {
+            restart: 30,
+            step_size: 5,
+            tol: 1e-8,
+            ortho: OrthoKind::TwoStage { big_panel: 30 },
+            ..GmresConfig::default()
+        });
+        let (_, r) = solver.solve_serial(&a, &b);
+        assert!(r.converged);
+        assert_eq!(r.cycle_timings.len(), r.step_history.len());
+        for (c, t) in r.cycle_timings.iter().enumerate() {
+            assert_eq!(t.cycle, c);
+            assert_eq!(t.step, r.step_history[c]);
+            assert!(t.total_ns > 0);
+            // The lap pattern partitions the cycle body: the phase buckets
+            // must account for the whole cycle (finish() charges the tail,
+            // so the sum matches the total exactly).
+            assert_eq!(t.segments_ns(), t.total_ns);
+            assert!(t.mpk_ns > 0, "cycle {c} recorded no MPK time");
+            assert!(t.ortho_ns > 0, "cycle {c} recorded no ortho time");
+            assert!(t.sync_ns <= t.total_ns);
+            assert_eq!(t.compute_ns(), t.total_ns - t.sync_ns);
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Per-cycle wall-time breakdown of the s-step solver.
+//!
+//! Every restart cycle is split into the phases the paper's cost model
+//! reasons about — matrix-powers kernel, block orthogonalization,
+//! Hessenberg recovery + projected solve, solution update, true-residual
+//! check — and each phase is timed with plain monotonic clock reads, so
+//! the breakdown is **always on** and costs a handful of `Instant::now()`
+//! calls per cycle (no tracing required, no extra reductions, and no
+//! perturbation of the arithmetic: the solve stays bitwise identical).
+//!
+//! When the [`trace`] layer is enabled the solver additionally attributes
+//! the cycle's **synchronization time** ([`CycleTiming::sync_ns`]): the
+//! wall time this rank spent inside `"comm"`-category spans (allreduce /
+//! broadcast / allgather / barrier / p2p waits), measured as a delta of
+//! [`trace::thread_category_ns`] across the cycle.  With tracing disabled
+//! the field is 0.
+
+use std::time::Instant;
+
+/// Wall-clock breakdown of one restart cycle (all durations nanoseconds).
+///
+/// The phase fields partition the cycle body: `mpk_ns + ortho_ns +
+/// hess_ns + update_ns + residual_ns + other_ns` accounts for every
+/// instant between the cycle's first and last clock read, so it tracks
+/// `total_ns` to within the cost of the final clock read itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleTiming {
+    /// Cycle index (0-based, aligned with `step_history`/`health_history`).
+    pub cycle: usize,
+    /// Effective matrix-powers step of the cycle.
+    pub step: usize,
+    /// Matrix-powers kernel: preconditioner applications, SpMVs (including
+    /// their halo exchange), Newton shifts, and basis-column stores.
+    pub mpk_ns: u64,
+    /// Block orthogonalization: every `orthogonalize_panel` call (column 0
+    /// included) plus the delayed-reorthogonalization `finish`.
+    pub ortho_ns: u64,
+    /// Hessenberg recovery, Ritz-shift harvesting, and the projected
+    /// least-squares solves (both the in-cycle estimates and the final one).
+    pub hess_ns: u64,
+    /// Solution update `x ← x + M⁻¹·(Q·y)`.
+    pub update_ns: u64,
+    /// True-residual recomputation and its global norm.
+    pub residual_ns: u64,
+    /// Everything else: cycle setup, health assembly, controller decisions.
+    pub other_ns: u64,
+    /// Whole-cycle wall time (first to last clock read of the cycle).
+    pub total_ns: u64,
+    /// Time spent inside `"comm"`-category trace spans on this thread
+    /// during the cycle — the solver's sync-vs-compute attribution.
+    /// Exactly 0 when tracing is disabled or compiled out.
+    pub sync_ns: u64,
+}
+
+impl CycleTiming {
+    /// Sum of the six phase buckets (should match `total_ns` closely).
+    pub fn segments_ns(&self) -> u64 {
+        self.mpk_ns
+            + self.ortho_ns
+            + self.hess_ns
+            + self.update_ns
+            + self.residual_ns
+            + self.other_ns
+    }
+
+    /// `total_ns − sync_ns`: the cycle's compute share under the tracing
+    /// layer's sync attribution (equals `total_ns` when tracing is off).
+    pub fn compute_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.sync_ns)
+    }
+}
+
+/// The phase a [`CycleClock::lap`] charges elapsed time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Mpk,
+    Ortho,
+    Hess,
+    Update,
+    Residual,
+    Other,
+}
+
+/// Accumulates one cycle's [`CycleTiming`] with the *lap* pattern: every
+/// call to [`CycleClock::lap`] charges the time since the previous lap (or
+/// construction) to one phase, so the phase buckets partition the cycle
+/// body with no gaps and no double counting.
+#[derive(Debug)]
+pub(crate) struct CycleClock {
+    start: Instant,
+    last: Instant,
+    sync0: u64,
+    timing: CycleTiming,
+}
+
+impl CycleClock {
+    pub(crate) fn start(cycle: usize, step: usize) -> Self {
+        let now = Instant::now();
+        CycleClock {
+            start: now,
+            last: now,
+            sync0: trace::thread_category_ns("comm"),
+            timing: CycleTiming {
+                cycle,
+                step,
+                ..CycleTiming::default()
+            },
+        }
+    }
+
+    /// Charge the time since the previous lap to `phase`.
+    pub(crate) fn lap(&mut self, phase: Phase) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        let bucket = match phase {
+            Phase::Mpk => &mut self.timing.mpk_ns,
+            Phase::Ortho => &mut self.timing.ortho_ns,
+            Phase::Hess => &mut self.timing.hess_ns,
+            Phase::Update => &mut self.timing.update_ns,
+            Phase::Residual => &mut self.timing.residual_ns,
+            Phase::Other => &mut self.timing.other_ns,
+        };
+        *bucket += dt;
+    }
+
+    /// Close the cycle: charge any tail to `Other`, stamp `total_ns` and
+    /// the `"comm"`-span delta, and return the finished record.
+    pub(crate) fn finish(mut self) -> CycleTiming {
+        self.lap(Phase::Other);
+        self.timing.total_ns = self.last.duration_since(self.start).as_nanos() as u64;
+        self.timing.sync_ns = trace::thread_category_ns("comm").saturating_sub(self.sync0);
+        self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_partition_the_total() {
+        let mut clock = CycleClock::start(3, 5);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.lap(Phase::Mpk);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        clock.lap(Phase::Ortho);
+        let t = clock.finish();
+        assert_eq!(t.cycle, 3);
+        assert_eq!(t.step, 5);
+        assert!(t.mpk_ns >= 1_000_000, "mpk lap too short: {}", t.mpk_ns);
+        assert!(t.ortho_ns >= 500_000, "ortho lap too short: {}", t.ortho_ns);
+        // The laps partition the cycle: segments == total up to the final
+        // clock read (finish() charges the tail, so they match exactly).
+        assert_eq!(t.segments_ns(), t.total_ns);
+        assert_eq!(t.compute_ns(), t.total_ns - t.sync_ns);
+    }
+
+    #[test]
+    fn sync_is_zero_without_tracing() {
+        // No comm spans are recorded here, so the delta must be 0 whether
+        // or not some other test enabled tracing concurrently... which is
+        // why we only assert the invariant that holds unconditionally:
+        // sync never exceeds total-with-slack on an empty cycle.
+        let clock = CycleClock::start(0, 1);
+        let t = clock.finish();
+        assert_eq!(t.cycle, 0);
+        assert!(t.segments_ns() == t.total_ns);
+    }
+}

@@ -325,6 +325,7 @@ fn tn_row_block<A: ColSource, B: ColSource>(
 pub fn gram(v: &MatView<'_>) -> Matrix {
     let n = v.nrows();
     let s = v.ncols();
+    let _span = trace::span2("blas3", "gram", "n", n as u64, "s", s as u64);
     if s == 0 {
         return Matrix::zeros(0, 0);
     }
@@ -371,6 +372,7 @@ pub fn gemm_tn(a: &MatView<'_>, b: &MatView<'_>) -> Matrix {
     let n = a.nrows();
     let k = a.ncols();
     let s = b.ncols();
+    let _span = trace::span2("blas3", "gemm_tn", "n", n as u64, "k", k as u64);
     if k == 0 || s == 0 {
         return Matrix::zeros(k, s);
     }
@@ -568,6 +570,7 @@ pub fn gemm_nn_minus(v: &mut MatViewMut<'_>, q: &MatView<'_>, r: &Matrix) {
     if k == 0 || v.ncols() == 0 || n == 0 {
         return;
     }
+    let _span = trace::span2("blas3", "gemm_nn_minus", "n", n as u64, "k", k as u64);
     let qdata = q.data();
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
     parallel_for_range(n, |start, end| {
@@ -604,6 +607,7 @@ pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
     if n == 0 || s == 0 {
         return;
     }
+    let _span = trace::span2("blas3", "trsm", "n", n as u64, "s", s as u64);
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
     parallel_for_range(n, |start, end| {
         let mut rb = start;
@@ -654,6 +658,14 @@ pub fn fused_update_proj_gram(
     assert_eq!(q.nrows(), n, "fused_update_proj_gram: row mismatch");
     assert_eq!(p.nrows(), k, "fused_update_proj_gram: inner dim mismatch");
     assert_eq!(p.ncols(), s, "fused_update_proj_gram: col mismatch");
+    let _span = trace::span2(
+        "blas3",
+        "fused_update_proj_gram",
+        "n",
+        n as u64,
+        "k",
+        k as u64,
+    );
     let qdata = q.data();
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
     let vlen = n * s;

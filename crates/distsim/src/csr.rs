@@ -206,28 +206,41 @@ impl DistCsr {
         assert_eq!(x_local.len(), nloc, "spmv: x length mismatch");
         assert_eq!(y_local.len(), nloc, "spmv: y length mismatch");
         if self.comm.size() == 1 {
+            let _span = trace::span1("spmv", "local", "rows", nloc as u64);
             self.local.spmv(x_local, y_local);
             return;
         }
         // Post all sends first (mailboxes are non-blocking), then receive.
-        for block in &self.plan.send {
-            let payload: Vec<f64> = block.local_indices.iter().map(|&i| x_local[i]).collect();
-            self.comm.send(block.peer, &payload);
+        {
+            let _span = trace::span1(
+                "spmv",
+                "halo_pack_send",
+                "peers",
+                self.plan.send.len() as u64,
+            );
+            for block in &self.plan.send {
+                let payload: Vec<f64> = block.local_indices.iter().map(|&i| x_local[i]).collect();
+                self.comm.send(block.peer, &payload);
+            }
         }
         let mut x_ext = vec![0.0; nloc + self.plan.recv_words()];
         x_ext[..nloc].copy_from_slice(x_local);
-        for block in &self.plan.recv {
-            let data = self.comm.recv(block.peer);
-            assert_eq!(
-                data.len(),
-                block.len,
-                "halo exchange: peer {} sent {} values, expected {}",
-                block.peer,
-                data.len(),
-                block.len
-            );
-            x_ext[nloc + block.start..nloc + block.start + block.len].copy_from_slice(&data);
+        {
+            let _span = trace::span1("spmv", "halo_wait", "peers", self.plan.recv.len() as u64);
+            for block in &self.plan.recv {
+                let data = self.comm.recv(block.peer);
+                assert_eq!(
+                    data.len(),
+                    block.len,
+                    "halo exchange: peer {} sent {} values, expected {}",
+                    block.peer,
+                    data.len(),
+                    block.len
+                );
+                x_ext[nloc + block.start..nloc + block.start + block.len].copy_from_slice(&data);
+            }
         }
+        let _span = trace::span1("spmv", "local", "rows", nloc as u64);
         self.local.spmv(&x_ext, y_local);
     }
 }

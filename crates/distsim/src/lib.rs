@@ -52,5 +52,5 @@ pub use comm::Communicator;
 pub use csr::DistCsr;
 pub use multivector::DistMultiVector;
 pub use serial::SerialComm;
-pub use stats::{CommStats, CommStatsSnapshot};
+pub use stats::{CommStats, CommStatsSnapshot, PeerTally};
 pub use thread::{run_ranks, ThreadComm};

@@ -149,6 +149,7 @@ impl DistMultiVector {
         assert!(prev.end <= new.start, "prev must precede new");
         let k = prev.end - prev.start;
         let s = new.end - new.start;
+        let _span = trace::span2("mv", "proj_and_gram", "k", k as u64, "s", s as u64);
         let p_local = dense::gemm_tn(&self.local.cols(prev), &self.local.cols(new.clone()));
         let g_local = dense::gram(&self.local.cols(new));
         let mut buf = Vec::with_capacity(k * s + s * s);
@@ -198,6 +199,7 @@ impl DistMultiVector {
         assert!(prev.end <= new.start, "prev must precede new");
         let k = prev.end - prev.start;
         let s = new.end - new.start;
+        let _span = trace::span2("mv", "update_and_gram", "k", k as u64, "s", s as u64);
         let (head, mut tail) = self.local.split_at_col(new.start);
         let q = head.cols(prev);
         let mut v = tail.cols_mut(0..s);

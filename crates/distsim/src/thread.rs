@@ -194,6 +194,7 @@ impl Communicator for ThreadComm {
     }
 
     fn allreduce_sum(&self, buf: &mut [f64]) {
+        let _span = trace::span1("comm", "allreduce", "words", buf.len() as u64);
         self.stats.record_allreduce(buf.len());
         let contribution = buf.to_vec();
         self.shared
@@ -202,6 +203,7 @@ impl Communicator for ThreadComm {
 
     fn broadcast(&self, root: usize, buf: &mut [f64]) {
         assert!(root < self.size(), "broadcast root {root} out of range");
+        let _span = trace::span1("comm", "broadcast", "words", buf.len() as u64);
         self.stats.record_broadcast(buf.len());
         let contribution = buf.to_vec();
         self.shared
@@ -214,12 +216,14 @@ impl Communicator for ThreadComm {
             send.len() * self.size(),
             "allgather: recv must hold one contribution per rank"
         );
+        let _span = trace::span1("comm", "allgather", "words", send.len() as u64);
         self.stats.record_allgather(send.len());
         self.shared
             .collective(self.rank, CollKind::Allgather, send, recv);
     }
 
     fn barrier(&self) {
+        let _span = trace::span("comm", "barrier");
         self.stats.record_barrier();
         self.shared
             .collective(self.rank, CollKind::Barrier, &[], &mut []);
@@ -228,13 +232,22 @@ impl Communicator for ThreadComm {
     fn send(&self, to: usize, data: &[f64]) {
         assert!(to < self.size(), "send: rank {to} out of range");
         assert_ne!(to, self.rank, "send: cannot message self");
-        self.stats.record_p2p(data.len());
+        let _span = trace::span2(
+            "comm",
+            "send",
+            "peer",
+            to as u64,
+            "words",
+            data.len() as u64,
+        );
+        self.stats.record_p2p(to, data.len());
         self.shared.post(self.rank, to, data.to_vec());
     }
 
     fn recv(&self, from: usize) -> Vec<f64> {
         assert!(from < self.size(), "recv: rank {from} out of range");
         assert_ne!(from, self.rank, "recv: cannot message self");
+        let _span = trace::span1("comm", "recv", "peer", from as u64);
         self.shared.take(from, self.rank)
     }
 
@@ -263,6 +276,9 @@ where
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 scope.spawn(move || {
+                    if trace::enabled() {
+                        trace::set_thread_label(&format!("rank {rank}"));
+                    }
                     let comm: Arc<dyn Communicator> = Arc::new(ThreadComm::new(rank, shared));
                     f(comm)
                 })

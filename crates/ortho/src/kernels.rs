@@ -33,6 +33,7 @@ use std::ops::Range;
 /// numerically positive definite, i.e. `κ(V) ≳ 1/√ε` (condition (1) of the
 /// paper).
 pub fn cholqr(basis: &mut DistMultiVector, cols: Range<usize>) -> Result<Matrix, OrthoError> {
+    let _span = trace::span1("ortho", "cholqr", "s", (cols.end - cols.start) as u64);
     let g = basis.gram(cols.clone());
     let r = dense::cholesky_upper(&g).map_err(|e| OrthoError::CholeskyBreakdown {
         context: "CholQR",
@@ -62,6 +63,12 @@ pub fn shifted_cholqr(
     basis: &mut DistMultiVector,
     cols: Range<usize>,
 ) -> Result<(Matrix, f64), OrthoError> {
+    let _span = trace::span1(
+        "ortho",
+        "shifted_cholqr",
+        "s",
+        (cols.end - cols.start) as u64,
+    );
     let g = basis.gram(cols.clone());
     let (r, shift) = dense::shifted_cholesky_upper(&g, basis.global_rows()).map_err(|e| {
         OrthoError::CholeskyBreakdown {
@@ -83,6 +90,7 @@ pub fn mixed_precision_cholqr(
     cols: Range<usize>,
 ) -> Result<Matrix, OrthoError> {
     let s = cols.end - cols.start;
+    let _span = trace::span1("ortho", "mixed_precision_cholqr", "s", s as u64);
     let view = basis.local_cols(cols.clone());
     let (hi, lo) = crate::dd::dd_gram_local(&view);
     let mut buf = Vec::with_capacity(2 * s * s);
@@ -128,6 +136,14 @@ pub fn bcgs_pip(
     prev: Range<usize>,
     new: Range<usize>,
 ) -> Result<(Matrix, Matrix), OrthoError> {
+    let _span = trace::span2(
+        "ortho",
+        "bcgs_pip",
+        "k",
+        (prev.end - prev.start) as u64,
+        "s",
+        (new.end - new.start) as u64,
+    );
     let (p, g) = basis.proj_and_gram(prev.clone(), new.clone());
     // Pythagorean update of the Gram matrix of the projected panel.
     let correction = dense::gemm_nn(&p.transpose(), &p);
@@ -172,6 +188,14 @@ pub fn bcgs_pip2_fused(
     first_context: &'static str,
     second_context: &'static str,
 ) -> Result<(Matrix, Matrix, f64), OrthoError> {
+    let _span = trace::span2(
+        "ortho",
+        "bcgs_pip2_fused",
+        "k",
+        (prev.end - prev.start) as u64,
+        "s",
+        (new.end - new.start) as u64,
+    );
     // Reduce 1: projection and Gram of the raw panel.
     let (p1, g1) = basis.proj_and_gram(prev.clone(), new.clone());
     let correction = dense::gemm_nn(&p1.transpose(), &p1);
@@ -229,6 +253,14 @@ pub fn columnwise_cgs2(
     against_start: usize,
     new: Range<usize>,
 ) -> Result<Matrix, OrthoError> {
+    let _span = trace::span2(
+        "ortho",
+        "columnwise_cgs2",
+        "k",
+        against_start as u64,
+        "s",
+        (new.end - new.start) as u64,
+    );
     let nrows_r = new.end - against_start;
     let ncols_r = new.end - new.start;
     let mut r = Matrix::zeros(nrows_r, ncols_r);

@@ -80,6 +80,14 @@ impl TwoStage {
         if bp.is_empty() {
             return Ok(());
         }
+        let _span = trace::span2(
+            "ortho",
+            "stage2_flush",
+            "start",
+            bp.start as u64,
+            "cols",
+            (bp.end - bp.start) as u64,
+        );
         let prev = 0..bp.start;
         // Second-stage BCGS-PIP of the pre-processed big panel.  If the big
         // panel violates condition (9) of the paper (its condition number
@@ -89,6 +97,14 @@ impl TwoStage {
         let (t_prev, t_bp) = match bcgs_pip(basis, prev.clone(), bp.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
+                trace::instant2(
+                    "ortho",
+                    "fallback_stage2",
+                    "start",
+                    bp.start as u64,
+                    "cols",
+                    (bp.end - bp.start) as u64,
+                );
                 let (t_prev, t_bp, shift) = shifted_bcgs_pip2(basis, prev.clone(), bp.clone())?;
                 self.events.push(FallbackEvent {
                     stage: FallbackStage::BigPanelFlush,
@@ -200,9 +216,25 @@ impl BlockOrthogonalizer for TwoStage {
         // back to the same shifted-CholQR remedy the second stage uses,
         // spending the extra reduces only on the offending panel.
         let prev = 0..new.start;
+        let stage1_span = trace::span2(
+            "ortho",
+            "stage1_panel",
+            "start",
+            new.start as u64,
+            "cols",
+            (new.end - new.start) as u64,
+        );
         let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
             Ok(factors) => factors,
             Err(OrthoError::CholeskyBreakdown { .. }) => {
+                trace::instant2(
+                    "ortho",
+                    "fallback_stage1",
+                    "start",
+                    new.start as u64,
+                    "cols",
+                    (new.end - new.start) as u64,
+                );
                 let (p, r_new, shift) = shifted_bcgs_pip2(basis, prev.clone(), new.clone())
                     .map_err(|e| match e {
                         OrthoError::CholeskyBreakdown { pivot, .. } => {
@@ -224,6 +256,9 @@ impl BlockOrthogonalizer for TwoStage {
         };
         crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
         self.processed_end = new.end;
+        // Close the first-stage span before a possible big-panel flush, so
+        // stage-2 time is not attributed to the panel that triggered it.
+        drop(stage1_span);
         // Second stage once enough columns have accumulated.
         if self.processed_end - self.big_start >= self.big_panel
             || self.processed_end >= self.total_cols

@@ -159,12 +159,28 @@ fn worker_loop(pool: &'static Pool) {
             )
         };
         let body = unsafe { &*func };
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
-            let i = pool.next.fetch_add(1, Ordering::Relaxed);
-            if i >= nchunks {
-                break;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let t0 = trace::enabled().then(trace::now_ns);
+            let mut claimed = 0u64;
+            loop {
+                let i = pool.next.fetch_add(1, Ordering::Relaxed);
+                if i >= nchunks {
+                    break;
+                }
+                claimed += 1;
+                body(i);
             }
-            body(i);
+            if let Some(t0) = t0 {
+                trace::complete_span2(
+                    "pool",
+                    "chunks",
+                    t0,
+                    "claimed",
+                    claimed,
+                    "nchunks",
+                    nchunks as u64,
+                );
+            }
         }));
         if outcome.is_err() {
             pool.panicked.store(true, Ordering::Relaxed);
@@ -179,6 +195,7 @@ fn worker_loop(pool: &'static Pool) {
 /// Scoped-spawn fallback used when the pool is busy (nested or concurrent
 /// submission) — the original per-region implementation.
 fn run_scoped(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    let _span = trace::span1("pool", "scoped", "nchunks", nchunks as u64);
     std::thread::scope(|scope| {
         for i in 1..nchunks {
             scope.spawn(move || body(i));
@@ -209,6 +226,7 @@ pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
     let Ok(submit_guard) = pool.submit.try_lock() else {
         return run_scoped(nchunks, body);
     };
+    let t_dispatch = trace::enabled().then(trace::now_ns);
     // Publish the job.  The lifetime transmute is sound because this
     // function does not return until every worker acknowledges (below), so
     // no worker can hold the pointer past the borrow.
@@ -231,19 +249,43 @@ pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
         *generation += 1;
         pool.work_ready.notify_all();
     }
+    if let Some(t0) = t_dispatch {
+        trace::complete_span1("pool", "dispatch", t0, "nchunks", nchunks as u64);
+    }
     // Participate (catching panics so workers are never left holding a
     // dangling job pointer while we unwind).
-    let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
-        let i = pool.next.fetch_add(1, Ordering::Relaxed);
-        if i >= nchunks {
-            break;
+    let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let t0 = trace::enabled().then(trace::now_ns);
+        let mut claimed = 0u64;
+        loop {
+            let i = pool.next.fetch_add(1, Ordering::Relaxed);
+            if i >= nchunks {
+                break;
+            }
+            claimed += 1;
+            body(i);
         }
-        body(i);
+        if let Some(t0) = t0 {
+            trace::complete_span2(
+                "pool",
+                "chunks",
+                t0,
+                "claimed",
+                claimed,
+                "nchunks",
+                nchunks as u64,
+            );
+        }
     }));
     {
+        let t0 = trace::enabled().then(trace::now_ns);
         let mut done_guard = pool.done_lock.lock().expect("pool done lock poisoned");
         while pool.remaining.load(Ordering::Acquire) != 0 {
             done_guard = pool.done.wait(done_guard).expect("pool done lock poisoned");
+        }
+        drop(done_guard);
+        if let Some(t0) = t0 {
+            trace::complete_span1("pool", "barrier_wait", t0, "nchunks", nchunks as u64);
         }
     }
     drop(submit_guard);

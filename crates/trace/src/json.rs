@@ -1,0 +1,221 @@
+//! A minimal JSON *syntax* validator (no value tree is built).
+//!
+//! Used by tests and the `bench --bin profile` harness to assert that the
+//! hand-rolled Chrome trace export and report files are well-formed without
+//! pulling in a JSON dependency.
+
+/// Validate that `input` is a single well-formed JSON value (with optional
+/// surrounding whitespace).  Returns the byte offset and a message on error.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        None => Err(fail(*pos, "unexpected end of input")),
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(&c) => Err(fail(*pos, &format!("unexpected byte {:?}", c as char))),
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(fail(*pos, "invalid literal"))
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(fail(*pos, "expected object key string"));
+        }
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(fail(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(fail(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(fail(*pos, "invalid \\u escape")),
+                            }
+                        }
+                    }
+                    _ => return Err(fail(*pos, "invalid escape")),
+                }
+            }
+            0x00..=0x1f => return Err(fail(*pos, "unescaped control character")),
+            _ => *pos += 1,
+        }
+    }
+    Err(fail(*pos, "unterminated string"))
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(fail(start, "number without digits"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(fail(*pos, "number with empty fraction"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(fail(*pos, "number with empty exponent"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_json;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "\"a\\n\\u00e9\"",
+            "[]",
+            "{}",
+            "[1, 2, [3], {\"k\": \"v\"}]",
+            "{\"a\": {\"b\": [1.0, false, null]}, \"c\": \"\"}",
+            "  {\"ws\" : 1}  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"k\":}",
+            "{\"k\" 1}",
+            "{'k': 1}",
+            "01abc",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "[1] trailing",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} was accepted");
+        }
+    }
+}

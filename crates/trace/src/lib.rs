@@ -1,0 +1,811 @@
+//! # trace — zero-dependency span/counter tracing
+//!
+//! A minimal instrumentation layer for the two-stage GMRES workspace.  The
+//! paper's core claim is that *synchronization*, not flops, dominates s-step
+//! GMRES at scale; this crate is what lets the repo measure that claim
+//! instead of merely counting reductions (`CommStats`) and words
+//! (`perfmodel::ortho_cycle_words`).
+//!
+//! Design:
+//!
+//! * **Thread-local ring buffers.**  Each recording thread owns a
+//!   fixed-capacity ring of [`Event`]s behind an uncontended mutex; a global
+//!   registry keeps one handle per thread so [`collect`] can drain every
+//!   timeline at once.  When a ring wraps, the oldest events are overwritten
+//!   and counted in `dropped` — recording never blocks and never allocates
+//!   after the first event on a thread.
+//! * **Always-exact aggregates.**  Every span closure also updates a small
+//!   per-thread `(cat, name) → {count, total_ns, max_ns}` table, so the
+//!   aggregated report ([`Trace::merged_spans`], [`thread_category_ns`]) is
+//!   exact even when the timeline ring dropped events.
+//! * **Complete events.**  Spans are recorded at *close* as a single event
+//!   carrying start timestamp + duration (Chrome `"ph":"X"`), halving event
+//!   volume versus begin/end pairs.  A per-thread open-span counter still
+//!   makes balance checkable: [`stats`] reports `open_spans`, which must be
+//!   zero whenever no region is in flight.
+//! * **Provably zero-cost when off.**  At runtime a single relaxed atomic
+//!   load guards every entry point: a disabled [`span`] never reads the
+//!   clock, never touches thread-local state, and returns an inert guard.
+//!   With the `off` cargo feature, [`enabled`] is a `const false` and the
+//!   optimizer deletes the instrumentation entirely.
+//!
+//! Timestamps come from one process-wide monotonic epoch
+//! ([`std::time::Instant`]), so spans from different threads (pool lanes,
+//! simulated ranks) share a comparable timeline.
+//!
+//! ```
+//! trace::set_enabled(true);
+//! {
+//!     let _s = trace::span("demo", "work");
+//!     // ... traced work ...
+//! }
+//! trace::set_enabled(false);
+//! let t = trace::collect();
+//! let json = t.to_chrome_json();
+//! assert!(trace::validate_json(&json).is_ok());
+//! ```
+
+mod chrome;
+mod json;
+mod report;
+
+pub use json::validate_json;
+pub use report::{AggRow, CounterRow};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events).  Each event is ~100 bytes, so
+/// the default bounds a thread's timeline memory at a few megabytes.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Whether recording is active.  The hot-path guard: one relaxed atomic
+/// load, or a compile-time `false` with the `off` feature.
+#[inline(always)]
+pub fn enabled() -> bool {
+    #[cfg(feature = "off")]
+    {
+        false
+    }
+    #[cfg(not(feature = "off"))]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// True when the `off` cargo feature compiled all recording out.
+pub const fn compiled_out() -> bool {
+    cfg!(feature = "off")
+}
+
+/// Turn recording on or off at runtime.  A no-op under the `off` feature.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Set the per-thread ring capacity (in events) used by buffers created
+/// *after* this call; [`clear`] re-sizes existing buffers to the new value.
+pub fn set_capacity(events: usize) {
+    CAPACITY.store(events.max(16), Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first clock use).
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// What a timeline [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A closed span: `ts_ns` is the open time, `dur_ns` the length.
+    Span { dur_ns: u64 },
+    /// A sampled numeric value (Chrome counter track).
+    Counter { value: f64 },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One timeline event, as stored in a thread's ring buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    pub cat: &'static str,
+    pub name: &'static str,
+    /// Up to two named integer arguments (`nargs` are valid).
+    pub args: [(&'static str, u64); 2],
+    pub nargs: u8,
+}
+
+struct AggCell {
+    cat: &'static str,
+    name: &'static str,
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+struct CounterCell {
+    cat: &'static str,
+    name: &'static str,
+    count: u64,
+    sum: f64,
+    last: f64,
+}
+
+struct Inner {
+    label: String,
+    ring: Vec<Event>,
+    capacity: usize,
+    /// Total events ever pushed since the last [`clear`]; `min(pushed,
+    /// capacity)` live events end at index `pushed % capacity`.
+    pushed: u64,
+    agg: Vec<AggCell>,
+    counters: Vec<CounterCell>,
+}
+
+impl Inner {
+    fn push(&mut self, ev: Event) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            let idx = (self.pushed % self.capacity as u64) as usize;
+            self.ring[idx] = ev;
+        }
+        self.pushed += 1;
+    }
+
+    fn dropped(&self) -> u64 {
+        self.pushed.saturating_sub(self.ring.len() as u64)
+    }
+
+    /// Live events in timestamp order (ring unrolled from the oldest slot).
+    fn ordered_events(&self) -> Vec<Event> {
+        if self.pushed <= self.capacity as u64 {
+            return self.ring.clone();
+        }
+        let split = (self.pushed % self.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[split..]);
+        out.extend_from_slice(&self.ring[..split]);
+        out
+    }
+
+    fn record_span(&mut self, ev: Event, dur_ns: u64) {
+        self.push(ev);
+        if let Some(cell) = self
+            .agg
+            .iter_mut()
+            .find(|c| c.cat == ev.cat && c.name == ev.name)
+        {
+            cell.count += 1;
+            cell.total_ns += dur_ns;
+            cell.max_ns = cell.max_ns.max(dur_ns);
+        } else {
+            self.agg.push(AggCell {
+                cat: ev.cat,
+                name: ev.name,
+                count: 1,
+                total_ns: dur_ns,
+                max_ns: dur_ns,
+            });
+        }
+    }
+
+    fn record_counter(&mut self, ev: Event, value: f64) {
+        self.push(ev);
+        if let Some(cell) = self
+            .counters
+            .iter_mut()
+            .find(|c| c.cat == ev.cat && c.name == ev.name)
+        {
+            cell.count += 1;
+            cell.sum += value;
+            cell.last = value;
+        } else {
+            self.counters.push(CounterCell {
+                cat: ev.cat,
+                name: ev.name,
+                count: 1,
+                sum: value,
+                last: value,
+            });
+        }
+    }
+}
+
+struct ThreadBuf {
+    tid: u64,
+    /// Spans currently open on this thread (balance check).
+    depth: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static BUF: std::cell::OnceCell<Arc<ThreadBuf>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    BUF.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let capacity = CAPACITY.load(Ordering::Relaxed);
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let label = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let buf = Arc::new(ThreadBuf {
+                tid,
+                depth: AtomicU64::new(0),
+                inner: Mutex::new(Inner {
+                    label,
+                    ring: Vec::new(),
+                    capacity,
+                    pushed: 0,
+                    agg: Vec::new(),
+                    counters: Vec::new(),
+                }),
+            });
+            registry()
+                .lock()
+                .expect("trace registry poisoned")
+                .push(buf.clone());
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// Name the current thread's timeline track (e.g. `"rank 3"`).  Overrides
+/// the OS thread name captured when the thread first recorded.
+pub fn set_thread_label(label: &str) {
+    if compiled_out() {
+        return;
+    }
+    with_buf(|buf| {
+        buf.inner.lock().expect("trace buffer poisoned").label = label.to_string();
+    });
+}
+
+/// RAII span guard: created by [`span`]/[`span1`]/[`span2`], records one
+/// complete event when dropped.  Must be dropped on the thread that created
+/// it (enforced by `!Send`).
+pub struct Span {
+    t0: u64,
+    cat: &'static str,
+    name: &'static str,
+    args: [(&'static str, u64); 2],
+    nargs: u8,
+    armed: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Span {
+    #[inline]
+    fn open(
+        cat: &'static str,
+        name: &'static str,
+        args: [(&'static str, u64); 2],
+        nargs: u8,
+    ) -> Self {
+        if !enabled() {
+            return Span {
+                t0: 0,
+                cat,
+                name,
+                args,
+                nargs,
+                armed: false,
+                _not_send: std::marker::PhantomData,
+            };
+        }
+        with_buf(|buf| {
+            buf.depth.fetch_add(1, Ordering::Relaxed);
+        });
+        Span {
+            t0: now_ns(),
+            cat,
+            name,
+            args,
+            nargs,
+            armed: true,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(self.t0);
+        with_buf(|buf| {
+            buf.depth.fetch_sub(1, Ordering::Relaxed);
+            let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+            inner.record_span(
+                Event {
+                    kind: EventKind::Span { dur_ns },
+                    ts_ns: self.t0,
+                    cat: self.cat,
+                    name: self.name,
+                    args: self.args,
+                    nargs: self.nargs,
+                },
+                dur_ns,
+            );
+        });
+    }
+}
+
+/// Open a span; it closes (and records) when the returned guard drops.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    Span::open(cat, name, [("", 0); 2], 0)
+}
+
+/// [`span`] with one named integer argument (shown in the timeline UI).
+#[inline]
+pub fn span1(cat: &'static str, name: &'static str, key: &'static str, value: u64) -> Span {
+    Span::open(cat, name, [(key, value), ("", 0)], 1)
+}
+
+/// [`span`] with two named integer arguments.
+#[inline]
+pub fn span2(
+    cat: &'static str,
+    name: &'static str,
+    k0: &'static str,
+    v0: u64,
+    k1: &'static str,
+    v1: u64,
+) -> Span {
+    Span::open(cat, name, [(k0, v0), (k1, v1)], 2)
+}
+
+/// Record an already-closed span from an explicit start timestamp (taken
+/// earlier with [`now_ns`]).  Useful when a span's arguments (e.g. how many
+/// chunks a pool lane claimed) are only known at close; does not touch the
+/// open-span depth counter.
+#[inline]
+pub fn complete_span2(
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    k0: &'static str,
+    v0: u64,
+    k1: &'static str,
+    v1: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let dur_ns = now_ns().saturating_sub(start_ns);
+    with_buf(|buf| {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.record_span(
+            Event {
+                kind: EventKind::Span { dur_ns },
+                ts_ns: start_ns,
+                cat,
+                name,
+                args: [(k0, v0), (k1, v1)],
+                nargs: 2,
+            },
+            dur_ns,
+        );
+    });
+}
+
+/// One-argument variant of [`complete_span2`].
+#[inline]
+pub fn complete_span1(
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    key: &'static str,
+    value: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let dur_ns = now_ns().saturating_sub(start_ns);
+    with_buf(|buf| {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.record_span(
+            Event {
+                kind: EventKind::Span { dur_ns },
+                ts_ns: start_ns,
+                cat,
+                name,
+                args: [(key, value), ("", 0)],
+                nargs: 1,
+            },
+            dur_ns,
+        );
+    });
+}
+
+/// Record a sampled numeric value (rendered as a counter track).
+#[inline]
+pub fn counter(cat: &'static str, name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buf(|buf| {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.record_counter(
+            Event {
+                kind: EventKind::Counter { value },
+                ts_ns,
+                cat,
+                name,
+                args: [("", 0); 2],
+                nargs: 0,
+            },
+            value,
+        );
+    });
+}
+
+/// Record a point-in-time marker with up to two named integer arguments.
+#[inline]
+pub fn instant2(
+    cat: &'static str,
+    name: &'static str,
+    k0: &'static str,
+    v0: u64,
+    k1: &'static str,
+    v1: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buf(|buf| {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.push(Event {
+            kind: EventKind::Instant,
+            ts_ns,
+            cat,
+            name,
+            args: [(k0, v0), (k1, v1)],
+            nargs: 2,
+        });
+    });
+}
+
+/// Record a point-in-time marker.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buf(|buf| {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.push(Event {
+            kind: EventKind::Instant,
+            ts_ns,
+            cat,
+            name,
+            args: [("", 0); 2],
+            nargs: 0,
+        });
+    });
+}
+
+/// Total nanoseconds the *current thread* has spent in closed spans of
+/// category `cat` since the last [`clear`].  Exact even when the timeline
+/// ring dropped events.  Cheap enough to diff around solver phases: the
+/// solver uses deltas of `thread_category_ns("comm")` per cycle to attribute
+/// synchronization time.  Returns 0 while disabled (the accumulator simply
+/// stops growing).
+pub fn thread_category_ns(cat: &str) -> u64 {
+    if compiled_out() {
+        return 0;
+    }
+    with_buf(|buf| {
+        let inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner
+            .agg
+            .iter()
+            .filter(|c| c.cat == cat)
+            .map(|c| c.total_ns)
+            .sum()
+    })
+}
+
+/// Global recorder statistics, summed across every registered thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Events currently held in ring buffers.
+    pub events: usize,
+    /// Events overwritten because a ring wrapped.
+    pub dropped: u64,
+    /// Spans currently open (non-zero only while a region is in flight).
+    pub open_spans: u64,
+}
+
+/// Snapshot recorder statistics (see [`TraceStats`]).
+pub fn stats() -> TraceStats {
+    let mut out = TraceStats::default();
+    for buf in registry().lock().expect("trace registry poisoned").iter() {
+        out.open_spans += buf.depth.load(Ordering::Relaxed);
+        let inner = buf.inner.lock().expect("trace buffer poisoned");
+        out.events += inner.ring.len();
+        out.dropped += inner.dropped();
+    }
+    out
+}
+
+/// Discard all recorded events, aggregates, and drop counts on every
+/// thread.  Open spans stay open; their eventual close records normally.
+pub fn clear() {
+    let capacity = CAPACITY.load(Ordering::Relaxed);
+    for buf in registry().lock().expect("trace registry poisoned").iter() {
+        let mut inner = buf.inner.lock().expect("trace buffer poisoned");
+        inner.ring = Vec::new();
+        inner.capacity = capacity;
+        inner.pushed = 0;
+        inner.agg.clear();
+        inner.counters.clear();
+    }
+}
+
+/// One thread's drained timeline plus its exact aggregates.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    pub tid: u64,
+    pub label: String,
+    /// Live events in timestamp order (oldest may be missing; see `dropped`).
+    pub events: Vec<Event>,
+    /// Events overwritten because the ring wrapped.
+    pub dropped: u64,
+    /// Exact per-(cat, name) span aggregates (immune to ring drops).
+    pub spans: Vec<AggRow>,
+    /// Exact per-(cat, name) counter aggregates.
+    pub counters: Vec<CounterRow>,
+}
+
+/// A full trace: every thread's timeline, collected by [`collect`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub threads: Vec<ThreadTrace>,
+}
+
+/// Copy out every thread's timeline and aggregates.  Non-destructive:
+/// buffers keep recording afterwards (use [`clear`] to reset).
+pub fn collect() -> Trace {
+    let mut threads = Vec::new();
+    for buf in registry().lock().expect("trace registry poisoned").iter() {
+        let inner = buf.inner.lock().expect("trace buffer poisoned");
+        if inner.pushed == 0 && inner.agg.is_empty() && inner.counters.is_empty() {
+            continue;
+        }
+        threads.push(ThreadTrace {
+            tid: buf.tid,
+            label: inner.label.clone(),
+            events: inner.ordered_events(),
+            dropped: inner.dropped(),
+            spans: inner
+                .agg
+                .iter()
+                .map(|c| AggRow {
+                    cat: c.cat.to_string(),
+                    name: c.name.to_string(),
+                    count: c.count,
+                    total_ns: c.total_ns,
+                    max_ns: c.max_ns,
+                })
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|c| CounterRow {
+                    cat: c.cat.to_string(),
+                    name: c.name.to_string(),
+                    count: c.count,
+                    sum: c.sum,
+                    last: c.last,
+                })
+                .collect(),
+        });
+    }
+    threads.sort_by_key(|t| t.tid);
+    Trace { threads }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod off_tests {
+    #[test]
+    fn compiled_out_matches_feature() {
+        assert_eq!(super::compiled_out(), cfg!(feature = "off"));
+        #[cfg(feature = "off")]
+        {
+            super::set_enabled(true);
+            assert!(!super::enabled());
+            super::set_enabled(false);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = test_lock();
+        reset();
+        {
+            let _s = span("t", "noop");
+        }
+        counter("t", "c", 1.0);
+        instant("t", "i");
+        assert_eq!(stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn spans_record_and_balance() {
+        let _guard = test_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("t", "outer");
+            assert_eq!(stats().open_spans, 1);
+            let _inner = span1("t", "inner", "k", 7);
+            assert_eq!(stats().open_spans, 2);
+        }
+        set_enabled(false);
+        let st = stats();
+        assert_eq!(st.open_spans, 0);
+        assert_eq!(st.events, 2);
+        let trace = collect();
+        let me: Vec<_> = trace.threads.iter().flat_map(|t| t.events.iter()).collect();
+        // Inner closes before outer, so it appears first.
+        assert_eq!(me[0].name, "inner");
+        assert_eq!(me[0].args[0], ("k", 7));
+        assert_eq!(me[1].name, "outer");
+        match (me[0].kind, me[1].kind) {
+            (EventKind::Span { dur_ns: d0 }, EventKind::Span { dur_ns: d1 }) => {
+                // Outer contains inner.
+                assert!(me[1].ts_ns <= me[0].ts_ns);
+                assert!(me[1].ts_ns + d1 >= me[0].ts_ns + d0);
+            }
+            other => panic!("expected two spans, got {other:?}"),
+        }
+        reset();
+    }
+
+    #[test]
+    fn aggregates_survive_ring_wrap() {
+        let _guard = test_lock();
+        reset();
+        set_capacity(16);
+        clear();
+        set_enabled(true);
+        for _ in 0..100 {
+            let _s = span("wrap", "tick");
+        }
+        set_enabled(false);
+        let st = stats();
+        assert_eq!(st.events, 16);
+        assert_eq!(st.dropped, 84);
+        let trace = collect();
+        let agg: u64 = trace
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .filter(|r| r.cat == "wrap")
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(agg, 100);
+        set_capacity(DEFAULT_CAPACITY);
+        reset();
+    }
+
+    #[test]
+    fn category_time_accumulates_on_this_thread() {
+        let _guard = test_lock();
+        reset();
+        set_enabled(true);
+        let before = thread_category_ns("cat-a");
+        {
+            let _s = span("cat-a", "sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let after = thread_category_ns("cat-a");
+        assert!(after >= before + 1_000_000, "{after} vs {before}");
+        reset();
+    }
+
+    #[test]
+    fn counters_and_instants_are_recorded() {
+        let _guard = test_lock();
+        reset();
+        set_enabled(true);
+        counter("c", "queue", 3.0);
+        counter("c", "queue", 5.0);
+        instant("c", "mark");
+        instant2("c", "mark2", "peer", 1, "words", 64);
+        set_enabled(false);
+        let trace = collect();
+        let counters: Vec<_> = trace
+            .threads
+            .iter()
+            .flat_map(|t| t.counters.iter())
+            .filter(|c| c.name == "queue")
+            .collect();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].count, 2);
+        assert_eq!(counters[0].sum, 8.0);
+        assert_eq!(counters[0].last, 5.0);
+        let instants = trace
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter(|e| e.kind == EventKind::Instant)
+            .count();
+        assert_eq!(instants, 2);
+        reset();
+    }
+
+    #[test]
+    fn multi_thread_timelines_are_separate_tracks() {
+        let _guard = test_lock();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for r in 0..3u64 {
+                scope.spawn(move || {
+                    set_thread_label(&format!("worker {r}"));
+                    let _s = span1("mt", "lane", "lane", r);
+                });
+            }
+        });
+        set_enabled(false);
+        let trace = collect();
+        let labels: Vec<_> = trace
+            .threads
+            .iter()
+            .filter(|t| t.label.starts_with("worker "))
+            .map(|t| t.label.clone())
+            .collect();
+        assert_eq!(labels.len(), 3);
+        reset();
+    }
+}

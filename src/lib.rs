@@ -28,6 +28,7 @@ pub use perfmodel;
 pub use sparse;
 pub use ssgmres;
 pub use testmat;
+pub use trace;
 
 /// Solve `A·x = b` with the paper's recommended configuration
 /// (s-step GMRES, `s = 5`, restart 60, two-stage orthogonalization with
