@@ -1,0 +1,571 @@
+//! Fault-injection campaign: seeded faults (kind × rate × phase) against
+//! the guarded s-step solver, plus the headline SDC demonstrations,
+//! writing `BENCH_faults.json`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin faults                    # full campaign
+//! BENCH_QUICK=1 cargo run -p bench --release --bin faults      # CI mode
+//! cargo run -p bench --release --bin faults -- --matrix A.mtx --partition nnz
+//! ```
+//!
+//! The headline cells run at `s = 8` on elasticity3d (the paper's hard
+//! problem) across 2 simulated ranks:
+//!
+//! * **sdc-gram** — a single flipped exponent bit in one rank's
+//!   contribution to the first panel Gram all-reduce.  The guarded solver
+//!   detects it (bitwise-symmetry screen), retries the reduce from the
+//!   saved clean contributions, and converges **bit-for-bit identical** to
+//!   the fault-free solve: zero iteration overhead.
+//! * **sdc-norm** — the same single-bit SDC aimed at the cycle-1
+//!   residual-norm reduce (the 1×1 Gram of the residual).  The unguarded
+//!   solver *silently returns a wrong answer*: the corrupted norm collapses
+//!   below the tolerance, the solve reports `converged` with no breakdown,
+//!   and the true residual is orders of magnitude above the target.  The
+//!   duplicated-word guard catches the disagreeing halves, retries, and
+//!   converges for real.
+//!
+//! On top: guard overhead at zero faults (noise-floor minimum over
+//! interleaved repeated solves, asserted `< 5%`), a seeded
+//! `kind × rate × phase` campaign grid with
+//! detection/recovery bookkeeping, and a bitwise replay check — every
+//! campaign cell is reproducible from its seed alone.
+//!
+//! With `--matrix <path.mtx>` the campaign grid runs on that matrix
+//! instead (headline cells need the built-in problem and are skipped), and
+//! `--partition nnz` drives the distributed cells over the nnz-balanced
+//! partition.
+
+use bench::cli;
+use distsim::{
+    run_ranks, Communicator, DistCsr, FaultKind, FaultPlan, FaultRates, FaultyComm, GuardPolicy,
+    OpKind, Target,
+};
+use sparse::{elasticity3d, Csr, RowPartition};
+use ssgmres::{GmresConfig, Identity, OrthoKind, SStepGmres, SolveResult, StepPolicy};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NRANKS: usize = 2;
+
+fn quick() -> bool {
+    matches!(
+        std::env::var("BENCH_QUICK").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Campaign guard policy: everything on, with a short halo patience so a
+/// dropped-message cell pays milliseconds, not the default five seconds.
+fn guards_on() -> GuardPolicy {
+    GuardPolicy {
+        halo_timeout_ms: 100,
+        ..GuardPolicy::all()
+    }
+}
+
+fn config(s: usize, guards: GuardPolicy) -> GmresConfig {
+    GmresConfig {
+        restart: 32.max(3 * s),
+        step_size: s,
+        tol: 1e-6,
+        max_iters: 6_000,
+        ortho: OrthoKind::BcgsPip2,
+        step_policy: StepPolicy::auto(),
+        guards,
+        ..GmresConfig::default()
+    }
+}
+
+/// One distributed solve over `NRANKS` simulated ranks, optionally under a
+/// fault plan.  Returns the gathered solution, rank 0's result (every
+/// replicated counter is identical across ranks), the total number of
+/// injected faults, and whether all ranks converged.
+struct Cell {
+    x: Vec<f64>,
+    r: SolveResult,
+    injected: usize,
+    converged_all: bool,
+}
+
+fn run_cell(
+    a: &Csr,
+    b: &[f64],
+    conf: &GmresConfig,
+    part: &RowPartition,
+    plan: Option<&FaultPlan>,
+) -> Cell {
+    let pieces = run_ranks(NRANKS, |comm| {
+        let (lo, hi) = part.range(comm.rank());
+        let (comm_dyn, faulty): (Arc<dyn Communicator>, Option<Arc<FaultyComm>>) = match plan {
+            Some(p) => {
+                let fc = FaultyComm::wrap(comm, p.clone());
+                (fc.clone(), Some(fc))
+            }
+            None => (comm, None),
+        };
+        let dist = DistCsr::from_global(comm_dyn, a, part);
+        let mut x = vec![0.0; hi - lo];
+        let r = SStepGmres::new(conf.clone()).solve(&dist, &Identity, &b[lo..hi], &mut x);
+        let injected = faulty.map_or(0, |f| f.injected());
+        (lo, x, r, injected)
+    });
+    let mut x = vec![0.0; a.nrows()];
+    let mut injected = 0;
+    let mut converged_all = true;
+    for (lo, piece, r, inj) in &pieces {
+        x[*lo..lo + piece.len()].copy_from_slice(piece);
+        injected += inj;
+        converged_all &= r.converged;
+    }
+    let r = pieces.into_iter().next().expect("rank 0").2;
+    Cell {
+        x,
+        r,
+        injected,
+        converged_all,
+    }
+}
+
+/// True relative residual `‖b − A·x‖ / ‖b‖` (solves start from x = 0).
+fn true_relres(a: &Csr, b: &[f64], x: &[f64]) -> f64 {
+    let ax = a.spmv_alloc(x);
+    let num: f64 = b
+        .iter()
+        .zip(&ax)
+        .map(|(bi, axi)| (bi - axi) * (bi - axi))
+        .sum();
+    let den: f64 = b.iter().map(|v| v * v).sum();
+    (num / den).sqrt()
+}
+
+/// Right-hand side normalized to unit norm so every rank's squared-norm
+/// contribution sits in `[2⁻⁶³, 2)`, where clearing exponent bit 58
+/// collapses the value by 2⁻⁶⁴ — the deterministic silent-SDC scenario.
+fn unit_rhs(a: &Csr) -> Vec<f64> {
+    let mut b = a.spmv_alloc(&vec![1.0; a.nrows()]);
+    let norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for v in &mut b {
+        *v /= norm;
+    }
+    b
+}
+
+struct CampaignRow {
+    kind: &'static str,
+    rate: f64,
+    phase: &'static str,
+    seed: u64,
+    injected: usize,
+    detected: usize,
+    recovered: usize,
+    unrecovered: usize,
+    retries: usize,
+    converged: bool,
+    iterations: usize,
+    iter_overhead: isize,
+    relres: f64,
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = match cli::parse_matrix_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("faults: {e}");
+            eprintln!(
+                "usage: faults [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]"
+            );
+            std::process::exit(2);
+        }
+    };
+    cli::start_tracing(&args.trace);
+    let quick = quick();
+
+    // Campaign matrix: elasticity3d (headline) or the provided file.
+    let (name, a, s, headline) = match &args.matrix {
+        Some(path) => {
+            let (name, a) = cli::load_matrix_streamed(path).unwrap_or_else(|e| {
+                eprintln!("faults: {e}");
+                std::process::exit(2);
+            });
+            let s = 8.min(a.nrows() / 4).max(2);
+            (name, a, s, false)
+        }
+        None => ("elasticity3d".to_string(), elasticity3d(5, 5, 5), 8, true),
+    };
+    let b = unit_rhs(&a);
+    let part = cli::partition_rows(&a, args.partition, NRANKS);
+    let per_rank = cli::per_rank_nnz(&a, &part);
+    let imbalance = cli::partition_imbalance(&a, &part);
+    eprintln!(
+        "matrix {name} ({} rows, {} nnz), s = {s}, {} partition over {NRANKS} ranks: per-rank nnz {per_rank:?}, imbalance {imbalance:.2}",
+        a.nrows(),
+        a.nnz(),
+        args.partition.label()
+    );
+
+    let unguarded = config(s, GuardPolicy::default());
+    let guarded = config(s, guards_on());
+
+    // ---- Baselines: fault-free, guards off vs. on ---------------------
+    let base_un = run_cell(&a, &b, &unguarded, &part, None);
+    let base_g = run_cell(&a, &b, &guarded, &part, None);
+    assert!(base_un.converged_all, "fault-free baseline must converge");
+    assert!(base_g.converged_all);
+    assert_eq!(
+        base_un.x, base_g.x,
+        "guards at zero faults must be bitwise transparent"
+    );
+    let added_reductions =
+        base_g.r.comm_total.allreduces as isize - base_un.r.comm_total.allreduces as isize;
+    assert_eq!(added_reductions, 0, "guards must add zero reductions");
+    assert_eq!(base_g.r.faults_detected, 0);
+    eprintln!(
+        "baseline: {} iterations, {} reductions (guards add {added_reductions}), bitwise transparent",
+        base_g.r.iterations, base_g.r.comm_total.allreduces
+    );
+
+    // ---- Guard overhead at zero faults (serial timing) ----------------
+    // The solve is only a few milliseconds, so the estimator has to be
+    // robust to scheduler/cache noise: warm up both paths, time the two
+    // variants back to back in interleaved pairs (so slow phases of the
+    // machine hit both equally), and take the median of the per-pair
+    // ratios.
+    let runs = if quick { 25 } else { 41 };
+    for _ in 0..3 {
+        SStepGmres::new(unguarded.clone()).solve_serial(&a, &b);
+        SStepGmres::new(guarded.clone()).solve_serial(&a, &b);
+    }
+    let mut t_un = Vec::with_capacity(runs);
+    let mut t_g = Vec::with_capacity(runs);
+    let mut ratios = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let r = SStepGmres::new(unguarded.clone()).solve_serial(&a, &b).1;
+        let dt_un = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let rg = SStepGmres::new(guarded.clone()).solve_serial(&a, &b).1;
+        let dt_g = t1.elapsed().as_secs_f64();
+        assert_eq!(r.iterations, rg.iterations);
+        t_un.push(dt_un);
+        t_g.push(dt_g);
+        ratios.push(dt_g / dt_un);
+    }
+    let med_un = t_un.iter().copied().fold(f64::INFINITY, f64::min);
+    let med_g = t_g.iter().copied().fold(f64::INFINITY, f64::min);
+    ratios.sort_by(f64::total_cmp);
+    let overhead_ratio = ratios[runs / 2];
+    eprintln!(
+        "guard overhead at zero faults: min {:.2} ms guarded vs {:.2} ms unguarded (paired-median ratio {overhead_ratio:.3})",
+        med_g * 1e3,
+        med_un * 1e3
+    );
+    // Only enforce the budget on the built-in problem: a user-supplied
+    // matrix can be small enough that the solve is all timer noise.
+    if headline {
+        assert!(
+            overhead_ratio < 1.05,
+            "guard overhead at zero faults must stay below 5% (measured {:.1}%)",
+            (overhead_ratio - 1.0) * 100.0
+        );
+    }
+
+    // ---- Headline SDC cells (built-in matrix only) --------------------
+    let mut headline_json = String::new();
+    if headline {
+        assert!(
+            base_g.r.restarts > 1,
+            "headline premise: the solve must take more than one cycle"
+        );
+
+        // Cell A — sdc-gram: flip exponent bit 62 of word 9 (the (1,0)
+        // off-diagonal of the 8×8 Gram block behind the 8-word projection
+        // prefix) in rank 0's contribution to the first panel Gram reduce.
+        let plan_gram = FaultPlan::none().with(
+            Target::nth(OpKind::Allreduce, 0)
+                .on_rank(0)
+                .in_phase("ortho")
+                .with_min_words(s * s + 1),
+            FaultKind::BitFlip {
+                word: Some(s + 1),
+                bit: 62,
+            },
+        );
+        let gram_un = run_cell(&a, &b, &unguarded, &part, Some(&plan_gram));
+        let gram_g = run_cell(&a, &b, &guarded, &part, Some(&plan_gram));
+        assert!(gram_g.injected >= 1, "the flip must fire");
+        assert!(
+            gram_g.r.faults_detected >= 1,
+            "sdc-gram: the symmetry screen must detect the flip"
+        );
+        assert!(gram_g.r.faults_recovered >= 1);
+        assert_eq!(gram_g.r.faults_unrecovered, 0);
+        assert!(gram_g.converged_all);
+        assert_eq!(
+            gram_g.x, base_g.x,
+            "sdc-gram: in-place repair must be bitwise exact"
+        );
+        assert_eq!(
+            gram_g.r.iterations, base_g.r.iterations,
+            "sdc-gram: repaired solve must pay zero iteration overhead"
+        );
+        let gram_un_relres = true_relres(&a, &b, &gram_un.x);
+        eprintln!(
+            "sdc-gram: guarded detected {} / recovered {} (0 iteration overhead, bitwise repair); \
+             unguarded: converged {}, {} iterations (+{} vs fault-free), true relres {:.2e}",
+            gram_g.r.faults_detected,
+            gram_g.r.faults_recovered,
+            gram_un.converged_all,
+            gram_un.r.iterations,
+            gram_un.r.iterations as isize - base_un.r.iterations as isize,
+            gram_un_relres
+        );
+
+        // Cell B — sdc-norm: clear exponent bit 58 of every rank's
+        // contribution to the cycle-1 residual-norm reduce (the 1×1 Gram
+        // of the residual).  The squared norm collapses by 2⁻⁶⁴ and the
+        // unguarded solver silently reports convergence on a wrong answer.
+        let plan_norm = FaultPlan::none().with(
+            Target::nth(OpKind::Allreduce, 1).in_phase("residual"),
+            FaultKind::BitFlip {
+                word: Some(0),
+                bit: 58,
+            },
+        );
+        let norm_un = run_cell(&a, &b, &unguarded, &part, Some(&plan_norm));
+        let norm_un_relres = true_relres(&a, &b, &norm_un.x);
+        // Silence: the solver *reports* success — converged, with a final
+        // residual far below the tolerance — while the answer is wrong by
+        // orders of magnitude.  (Unguarded, there is no fault diagnostic
+        // of any kind; the breakdown record only ever mentions the usual
+        // numerical rescue of the rank-deficient s = 8 panels.)
+        assert!(
+            norm_un.converged_all,
+            "sdc-norm: the unguarded solver must *believe* it converged"
+        );
+        assert!(
+            norm_un.r.final_relres <= unguarded.tol,
+            "sdc-norm: the reported residual must claim success"
+        );
+        assert!(
+            norm_un_relres > 1e2 * unguarded.tol,
+            "sdc-norm: the unguarded answer must be wrong (true relres {norm_un_relres:.2e})"
+        );
+        let norm_g = run_cell(&a, &b, &guarded, &part, Some(&plan_norm));
+        let norm_g_relres = true_relres(&a, &b, &norm_g.x);
+        assert!(norm_g.r.faults_detected >= 1);
+        assert!(norm_g.converged_all);
+        assert!(
+            norm_g_relres <= 10.0 * guarded.tol,
+            "sdc-norm: the guarded solve must converge for real"
+        );
+        eprintln!(
+            "sdc-norm: unguarded silently 'converged' at true relres {norm_un_relres:.2e}; \
+             guarded detected {} and finished at true relres {norm_g_relres:.2e}",
+            norm_g.r.faults_detected
+        );
+
+        // Bitwise replay of a headline cell from its (explicit) plan.
+        let norm_g2 = run_cell(&a, &b, &guarded, &part, Some(&plan_norm));
+        assert_eq!(norm_g.x, norm_g2.x, "headline cell must replay bitwise");
+        assert_eq!(norm_g.r.iterations, norm_g2.r.iterations);
+
+        let _ = write!(
+            headline_json,
+            "  \"headline\": {{\n    \"matrix\": \"{name}\", \"s\": {s}, \"nranks\": {NRANKS},\n    \"sdc_gram\": {{\"injected\": {}, \"detected\": {}, \"recovered\": {}, \"unrecovered\": {}, \"converged\": {}, \"iteration_overhead\": 0, \"repair_bitwise\": true, \"unguarded_converged\": {}, \"unguarded_iter_overhead\": {}, \"unguarded_relres\": {}}},\n    \"sdc_norm\": {{\"detected\": {}, \"converged\": {}, \"guarded_relres\": {}, \"unguarded_converged\": {}, \"unguarded_silent\": true, \"unguarded_relres\": {}, \"wrong_answer\": true}},\n    \"replay_bitwise\": true\n  }},\n",
+            gram_g.injected,
+            gram_g.r.faults_detected,
+            gram_g.r.faults_recovered,
+            gram_g.r.faults_unrecovered,
+            gram_g.converged_all,
+            gram_un.converged_all,
+            gram_un.r.iterations as isize - base_un.r.iterations as isize,
+            json_f64(gram_un_relres),
+            norm_g.r.faults_detected,
+            norm_g.converged_all,
+            json_f64(norm_g_relres),
+            norm_un.converged_all,
+            json_f64(norm_un_relres),
+        );
+    }
+
+    // ---- Seeded campaign grid: kind × rate × phase --------------------
+    type RatesFor = fn(f64) -> FaultRates;
+    let kinds: &[(&str, RatesFor)] = &[
+        ("bitflip", |r| FaultRates {
+            bitflip: r,
+            ..FaultRates::default()
+        }),
+        ("opfail", |r| FaultRates {
+            opfail: r,
+            ..FaultRates::default()
+        }),
+        ("drop", |r| FaultRates {
+            drop: r,
+            ..FaultRates::default()
+        }),
+        ("duplicate", |r| FaultRates {
+            duplicate: r,
+            ..FaultRates::default()
+        }),
+        ("stall", |r| FaultRates {
+            stall: r,
+            stall_millis: 2,
+            ..FaultRates::default()
+        }),
+    ];
+    // A quick solve on this matrix performs on the order of 10^2 guarded
+    // operations, so per-op rates below ~1% rarely inject anything; the
+    // grid uses rates high enough that most cells see at least one fault.
+    let rates: &[f64] = if quick { &[0.02] } else { &[0.005, 0.02] };
+    let phases: &[Option<&'static str>] = if quick {
+        &[None]
+    } else {
+        &[None, Some("ortho"), Some("mpk")]
+    };
+    let kind_count = if quick { 3 } else { kinds.len() };
+
+    let mut rows: Vec<CampaignRow> = Vec::new();
+    for (ki, (kind, mk_rates)) in kinds.iter().take(kind_count).enumerate() {
+        for (ri, &rate) in rates.iter().enumerate() {
+            for (pi, &phase) in phases.iter().enumerate() {
+                let seed = 0xFA17_0000_u64 + (ki as u64) * 1000 + (ri as u64) * 100 + pi as u64;
+                let mut plan = FaultPlan::from_seed(seed, mk_rates(rate));
+                plan.rate_phase = phase;
+                let cell = run_cell(&a, &b, &guarded, &part, Some(&plan));
+                rows.push(CampaignRow {
+                    kind,
+                    rate,
+                    phase: phase.unwrap_or("any"),
+                    seed,
+                    injected: cell.injected,
+                    detected: cell.r.faults_detected,
+                    recovered: cell.r.faults_recovered,
+                    unrecovered: cell.r.faults_unrecovered,
+                    retries: cell.r.comm_total.allreduce_retries,
+                    converged: cell.converged_all,
+                    iterations: cell.r.iterations,
+                    iter_overhead: cell.r.iterations as isize - base_g.r.iterations as isize,
+                    relres: true_relres(&a, &b, &cell.x),
+                });
+            }
+        }
+    }
+
+    // Bitwise replay of one seeded campaign cell.
+    let replay_row = &rows[0];
+    let mut replay_plan = FaultPlan::from_seed(replay_row.seed, kinds[0].1(replay_row.rate));
+    replay_plan.rate_phase = if replay_row.phase == "any" {
+        None
+    } else {
+        phases
+            .iter()
+            .flatten()
+            .copied()
+            .find(|p| *p == replay_row.phase)
+    };
+    let first = run_cell(&a, &b, &guarded, &part, Some(&replay_plan));
+    let second = run_cell(&a, &b, &guarded, &part, Some(&replay_plan));
+    assert_eq!(
+        first.x, second.x,
+        "a seeded campaign cell must replay bitwise"
+    );
+    assert_eq!(first.r.comm_total, second.r.comm_total);
+    assert_eq!(first.injected, second.injected);
+    eprintln!(
+        "replay: seed {:#x} reproduced bitwise ({} injections)",
+        replay_row.seed, first.injected
+    );
+
+    // ---- Report -------------------------------------------------------
+    let header = [
+        "kind", "rate", "phase", "inj", "det", "rec", "unrec", "retry", "conv", "iters", "d_iter",
+        "relres",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                format!("{:.3}", r.rate),
+                r.phase.to_string(),
+                r.injected.to_string(),
+                r.detected.to_string(),
+                r.recovered.to_string(),
+                r.unrecovered.to_string(),
+                r.retries.to_string(),
+                r.converged.to_string(),
+                r.iterations.to_string(),
+                r.iter_overhead.to_string(),
+                bench::sci(r.relres),
+            ]
+        })
+        .collect();
+    bench::print_table(
+        "faults: seeded injection campaign (guards on)",
+        &header,
+        &table,
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"faults\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"matrix\": \"{name}\", \"n\": {}, \"s\": {s}, \"nranks\": {NRANKS},",
+        a.nrows()
+    );
+    let _ = writeln!(
+        out,
+        "  \"partition\": {{\"kind\": \"{}\", \"per_rank_nnz\": {per_rank:?}, \"imbalance\": {}}},",
+        args.partition.label(),
+        json_f64(imbalance)
+    );
+    let _ = writeln!(
+        out,
+        "  \"baseline\": {{\"iterations\": {}, \"reductions\": {}, \"guards_added_reductions\": {added_reductions}, \"guards_bitwise_transparent\": true}},",
+        base_g.r.iterations, base_g.r.comm_total.allreduces
+    );
+    let _ = writeln!(
+        out,
+        "  \"overhead\": {{\"runs\": {runs}, \"unguarded_ms\": {}, \"guarded_ms\": {}, \"ratio\": {}, \"asserted_below\": 1.05}},",
+        json_f64(med_un * 1e3),
+        json_f64(med_g * 1e3),
+        json_f64(overhead_ratio)
+    );
+    out.push_str(&headline_json);
+    out.push_str("  \"campaign\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kind\": \"{}\", \"rate\": {}, \"phase\": \"{}\", \"seed\": {}, \"injected\": {}, \"detected\": {}, \"recovered\": {}, \"unrecovered\": {}, \"retries\": {}, \"converged\": {}, \"iterations\": {}, \"iteration_overhead\": {}, \"relres\": {}}}",
+            r.kind,
+            r.rate,
+            r.phase,
+            r.seed,
+            r.injected,
+            r.detected,
+            r.recovered,
+            r.unrecovered,
+            r.retries,
+            r.converged,
+            r.iterations,
+            r.iter_overhead,
+            json_f64(r.relres)
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n  \"replay_bitwise\": true\n}\n");
+    std::fs::write("BENCH_faults.json", &out).expect("write BENCH_faults.json");
+    eprintln!("wrote BENCH_faults.json ({} campaign cells)", rows.len());
+    cli::finish_tracing(&args.trace);
+}

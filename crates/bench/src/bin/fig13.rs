@@ -7,22 +7,30 @@
 //! every orthogonalization variant; part 2 prints the modeled per-iteration
 //! breakdown (SpMV, preconditioner, orthogonalization) with the speedups
 //! over standard GMRES annotated as in the paper's figure.
+//!
+//! With `--matrix <path.mtx>` part 1 runs on that file instead of the
+//! built-in stencil (streamed via `load_matrix_streamed`), and
+//! `--partition block|nnz` selects the row partition for the report line
+//! printed before the solves.
 
+use bench::cli;
 use bench::{print_table, scale, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
 use sparse::{laplace2d_9pt, Laplace2d9ptRows};
 use ssgmres::{standard_gmres_config, GmresConfig, MulticolorGaussSeidel, OrthoKind, SStepGmres};
 
 fn main() {
-    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
-        Ok(t) => t,
+    let args = match cli::parse_matrix_args(std::env::args().skip(1)) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("fig13: {e}");
-            eprintln!("usage: fig13 [--trace out.json]");
+            eprintln!(
+                "usage: fig13 [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]"
+            );
             std::process::exit(2);
         }
     };
-    bench::cli::start_tracing(&trace_out);
+    cli::start_tracing(&args.trace);
     let nx_small = match scale() {
         Scale::Paper => 300usize,
         Scale::Small => 120usize,
@@ -32,14 +40,37 @@ fn main() {
     let gs_sweeps = 2;
 
     // --- Part 1: real solves with and without the preconditioner. ---
-    // The unpreconditioned solves stream the operator from the stencil row
-    // source; the replicated matrix is kept for the right-hand side and the
-    // (local-block) Gauss–Seidel preconditioner.
-    let rows = Laplace2d9ptRows {
-        nx: nx_small,
-        ny: nx_small,
+    // For the built-in problem the unpreconditioned solves stream the
+    // operator from the stencil row source; the replicated matrix is kept
+    // for the right-hand side and the (local-block) Gauss–Seidel
+    // preconditioner.  With `--matrix` the loaded file is used for both.
+    let (name, a, stencil) = match &args.matrix {
+        Some(path) => match cli::load_matrix_streamed(path) {
+            Ok((name, a)) => (name, a, None),
+            Err(e) => {
+                eprintln!("fig13: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => (
+            format!("2D Laplace {nx_small}x{nx_small}"),
+            laplace2d_9pt(nx_small, nx_small),
+            Some(Laplace2d9ptRows {
+                nx: nx_small,
+                ny: nx_small,
+            }),
+        ),
     };
-    let a = laplace2d_9pt(nx_small, nx_small);
+    let report_ranks = 4;
+    let part = cli::partition_rows(&a, args.partition, report_ranks);
+    println!(
+        "matrix {name} ({} rows, {} nnz), {} partition over {report_ranks} ranks: per-rank nnz {:?}, imbalance {:.2}",
+        a.nrows(),
+        a.nnz(),
+        args.partition.label(),
+        cli::per_rank_nnz(&a, &part),
+        cli::partition_imbalance(&a, &part),
+    );
     let b = a.spmv_alloc(&vec![1.0; a.nrows()]);
     let gs = MulticolorGaussSeidel::new(&a, gs_sweeps);
     let mut measured = Vec::new();
@@ -65,7 +96,10 @@ fn main() {
             },
         };
         let solver = SStepGmres::new(config);
-        let (_, plain) = solver.solve_serial_from_rows(&rows, &b);
+        let (_, plain) = match &stencil {
+            Some(rows) => solver.solve_serial_from_rows(rows, &b),
+            None => solver.solve_serial(&a, &b),
+        };
         let (_, precond) = solver.solve_serial_preconditioned(&a, &b, &gs);
         measured.push(vec![
             label.to_string(),
@@ -80,7 +114,7 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 13 (part 1): measured solves, 2D Laplace {nx_small}x{nx_small}, multicolor Gauss-Seidel ({gs_sweeps} sweeps)"),
+        &format!("Fig. 13 (part 1): measured solves, {name}, multicolor Gauss-Seidel ({gs_sweeps} sweeps)"),
         &["variant", "iters (no precond)", "iters (GS precond)", "colors", "converged"],
         &measured,
     );
@@ -131,5 +165,5 @@ fn main() {
          iteration, so the orthogonalization speedups persist while the total-time speedups are\n\
          somewhat diluted relative to the unpreconditioned runs."
     );
-    bench::cli::finish_tracing(&trace_out);
+    cli::finish_tracing(&args.trace);
 }

@@ -17,6 +17,7 @@
 //! | `basis_compare` | Extension — monomial vs. Newton vs. adaptive basis conditioning (`BENCH_basis.json`) |
 //! | `kernels` | Kernel baselines — blocked vs. naive BLAS-3 (`BENCH_kernels.json`) |
 //! | `profile` | Observability — traced solve, per-cycle sync-vs-compute breakdown, model-vs-measured report (`BENCH_profile.json`, `TRACE_profile.json`) |
+//! | `faults` | Robustness — seeded fault-injection campaign: detection/recovery grid, guard overhead, silent-SDC headline (`BENCH_faults.json`) |
 //!
 //! Every binary accepts `--trace <out.json>` and then writes a Chrome
 //! trace-event timeline of the run (open at <https://ui.perfetto.dev>).

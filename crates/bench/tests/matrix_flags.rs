@@ -104,6 +104,49 @@ fn robustness_accepts_matrix_and_partition_flags() {
 }
 
 #[test]
+fn faults_accepts_matrix_and_partition_flags() {
+    run_binary(
+        env!("CARGO_BIN_EXE_faults"),
+        "faults",
+        "BENCH_faults.json",
+        "laplace_6x6",
+    );
+}
+
+#[test]
+fn fig13_accepts_matrix_and_partition_flags() {
+    // fig13 prints tables instead of writing JSON: check the stdout report.
+    let dir = scratch("fig13");
+    let output = Command::new(env!("CARGO_BIN_EXE_fig13"))
+        .args([
+            "--matrix",
+            fixture().to_str().unwrap(),
+            "--partition",
+            "nnz",
+        ])
+        .env("BENCH_QUICK", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("binary must launch");
+    assert!(
+        output.status.success(),
+        "fig13 failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("laplace_6x6"),
+        "fig13 must run the provided matrix:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("nnz partition"),
+        "fig13 must report the chosen partition:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn table02_accepts_matrix_partition_and_trace_flags() {
     // table02 prints tables instead of writing JSON, so drive it with
     // --trace too and check the timeline artifact it leaves behind.
@@ -152,6 +195,8 @@ fn binaries_reject_bad_flags() {
         env!("CARGO_BIN_EXE_basis_compare"),
         env!("CARGO_BIN_EXE_robustness"),
         env!("CARGO_BIN_EXE_table02"),
+        env!("CARGO_BIN_EXE_faults"),
+        env!("CARGO_BIN_EXE_fig13"),
     ] {
         let output = Command::new(exe)
             .args(["--matrix"])

@@ -147,6 +147,16 @@ pub struct CycleHealth {
     pub relres: Option<f64>,
     /// Whether the residual history qualified as stagnated at this cycle.
     pub stagnated: bool,
+    /// Faults the detection guards caught during this cycle (zero when
+    /// guards are disabled).
+    pub faults_detected: usize,
+    /// Of those, faults recovered in place (successful collective retry,
+    /// discarded duplicate halo message).
+    pub faults_recovered: usize,
+    /// Faults that exhausted in-place recovery this cycle and reached the
+    /// rollback ladder as poisoned payloads.  A cycle with any of these is
+    /// never [`CycleVerdict::Clean`].
+    pub faults_unrecovered: usize,
     /// The overall classification (see [`assess_cycle`]).
     pub verdict: CycleVerdict,
 }
@@ -161,12 +171,13 @@ pub fn assess_cycle(
     kappa_est: f64,
     fallbacks: usize,
     stagnated: bool,
+    faults_unrecovered: usize,
 ) -> CycleVerdict {
     // NaN condition estimates count as over the threshold.
     let kappa_bad = kappa_est > auto.kappa_threshold || kappa_est.is_nan();
     if broke_down || usable_cols == 0 {
         CycleVerdict::Breakdown
-    } else if fallbacks > 0 || kappa_bad || stagnated {
+    } else if fallbacks > 0 || kappa_bad || stagnated || faults_unrecovered > 0 {
         CycleVerdict::Distressed
     } else {
         CycleVerdict::Clean
@@ -386,6 +397,9 @@ mod tests {
             breakdown: None,
             relres: Some(0.5),
             stagnated,
+            faults_detected: 0,
+            faults_recovered: 0,
+            faults_unrecovered: 0,
             verdict,
         }
     }
@@ -498,32 +512,38 @@ mod tests {
     fn assessment_maps_signals_to_verdicts() {
         let auto = AutoStep::default();
         assert_eq!(
-            assess_cycle(&auto, true, 5, 1.0, 0, false),
+            assess_cycle(&auto, true, 5, 1.0, 0, false, 0),
             CycleVerdict::Breakdown
         );
         assert_eq!(
-            assess_cycle(&auto, false, 0, 1.0, 0, false),
+            assess_cycle(&auto, false, 0, 1.0, 0, false, 0),
             CycleVerdict::Breakdown
         );
         assert_eq!(
-            assess_cycle(&auto, false, 5, 1.0, 1, false),
+            assess_cycle(&auto, false, 5, 1.0, 1, false, 0),
             CycleVerdict::Distressed
         );
         assert_eq!(
-            assess_cycle(&auto, false, 5, 1e9, 0, false),
+            assess_cycle(&auto, false, 5, 1e9, 0, false, 0),
             CycleVerdict::Distressed
         );
         assert_eq!(
-            assess_cycle(&auto, false, 5, f64::INFINITY, 0, false),
+            assess_cycle(&auto, false, 5, f64::INFINITY, 0, false, 0),
             CycleVerdict::Distressed
         );
         assert_eq!(
-            assess_cycle(&auto, false, 5, 1.0, 0, true),
+            assess_cycle(&auto, false, 5, 1.0, 0, true, 0),
             CycleVerdict::Distressed
         );
         assert_eq!(
-            assess_cycle(&auto, false, 5, 1e3, 0, false),
+            assess_cycle(&auto, false, 5, 1e3, 0, false, 0),
             CycleVerdict::Clean
+        );
+        // An unrecovered fault is never a clean cycle: the controller must
+        // not probe the step up off the back of a poisoned rollback.
+        assert_eq!(
+            assess_cycle(&auto, false, 5, 1e3, 0, false, 1),
+            CycleVerdict::Distressed
         );
     }
 

@@ -53,6 +53,13 @@ pub use precond::{
 };
 pub use solver::{standard_gmres_config, GmresConfig, SStepGmres, SolveResult};
 pub use timing::CycleTiming;
+// Fault-injection and detection-guard surface, re-exported so solver users
+// configure `GmresConfig::guards` / wrap a communicator without naming
+// `distsim` directly.
+pub use distsim::{
+    FaultEvent, FaultKind, FaultPlan, FaultRates, FaultyComm, GuardContext, GuardCounts,
+    GuardEvent, GuardPolicy, Target,
+};
 
 // Re-export the orthogonalization selector (and the per-stage fallback
 // detail surfaced in CycleHealth) so downstream users configure the solver

@@ -8,7 +8,10 @@ use crate::shifts;
 use crate::timing::{CycleClock, CycleTiming, Phase};
 use blockortho::{make_orthogonalizer, FallbackEvent, OrthoKind};
 use dense::Matrix;
-use distsim::{CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, SerialComm};
+use distsim::{
+    fault, CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, GuardContext, GuardCounts,
+    GuardEvent, GuardPolicy, SerialComm,
+};
 use sparse::{block_row_partition, Csr, RowPartition, RowSource};
 use std::sync::Arc;
 
@@ -36,6 +39,11 @@ pub struct GmresConfig {
     /// pre-controller solver), the self-rescuing [`StepPolicy::Auto`], or
     /// a replayed [`StepPolicy::Scheduled`] step schedule.
     pub step_policy: StepPolicy,
+    /// Fault-detection guards (Gram screening, halo checksums, agreement
+    /// probes) and the in-place recovery budget.  All off by default: no
+    /// [`GuardContext`] is allocated and every collective is bitwise the
+    /// unguarded operation.
+    pub guards: GuardPolicy,
 }
 
 impl Default for GmresConfig {
@@ -49,6 +57,7 @@ impl Default for GmresConfig {
             ortho: OrthoKind::BcgsPip2,
             basis: BasisStrategy::Monomial,
             step_policy: StepPolicy::Fixed,
+            guards: GuardPolicy::default(),
         }
     }
 }
@@ -117,6 +126,18 @@ pub struct SolveResult {
     /// check, and — when the [`trace`] layer is enabled — the cycle's
     /// synchronization share measured from `"comm"`-category spans.
     pub cycle_timings: Vec<CycleTiming>,
+    /// Every fault the detection guards caught during the solve, in
+    /// detection order (empty when guards are disabled).
+    pub fault_events: Vec<GuardEvent>,
+    /// Faults detected by the guards across the whole solve.
+    pub faults_detected: usize,
+    /// Of those, faults recovered — in place (successful collective retry,
+    /// discarded duplicate) or by the cycle-rollback ladder.
+    pub faults_recovered: usize,
+    /// Faults that defeated every rung of the recovery ladder.  A solve
+    /// can still report `converged` with these at zero only if recovery
+    /// truly succeeded everywhere.
+    pub faults_unrecovered: usize,
 }
 
 /// The restarted s-step GMRES solver.
@@ -234,6 +255,14 @@ impl SStepGmres {
         let comm = a.comm().clone();
         let stats_start = comm.stats().snapshot();
         let mut comm_ortho = CommStatsSnapshot::default();
+        // Fault-detection guards: allocated only when the policy enables
+        // any of them, so the default path stays bitwise identical to the
+        // unguarded solver.
+        let guard: Option<Arc<GuardContext>> = if self.config.guards.any_enabled() {
+            Some(GuardContext::new(self.config.guards))
+        } else {
+            None
+        };
 
         let mut iterations = 0usize;
         let mut restarts = 0usize;
@@ -261,14 +290,17 @@ impl SStepGmres {
         // Reusable buffers.
         let mut basis =
             DistMultiVector::zeros(comm.clone(), a.global_rows(), nloc, a.row_offset(), m + 1);
+        basis.set_guard(guard.clone());
         let mut r_factor = Matrix::zeros(m + 1, m + 1);
         let mut z = vec![0.0; nloc]; // preconditioned vector
         let mut w = vec![0.0; nloc]; // A·z
 
         // Initial residual norm (r0 with the initial guess x_local).
-        let mut residual = compute_residual(a, x_local, b_local, &mut spmv_count);
-        let r0_norm = global_norm(&residual, comm.as_ref());
+        fault::set_phase("residual");
+        let mut residual = compute_residual(a, x_local, b_local, &mut spmv_count, guard.as_deref());
+        let r0_norm = global_norm(&residual, comm.as_ref(), guard.as_deref());
         if r0_norm == 0.0 {
+            fault::set_phase("");
             return SolveResult {
                 converged: true,
                 iterations: 0,
@@ -287,10 +319,20 @@ impl SStepGmres {
                 health_history: Vec::new(),
                 rescues: 0,
                 cycle_timings: Vec::new(),
+                fault_events: Vec::new(),
+                faults_detected: 0,
+                faults_recovered: 0,
+                faults_unrecovered: 0,
             };
         }
         let target = self.config.tol * r0_norm;
         let mut gamma = r0_norm;
+        if let Some(ctx) = &guard {
+            // The residual norm drives every replicated control decision:
+            // stage it for the cross-rank agreement probe of the next
+            // guarded reduce.
+            ctx.stage_agreement(gamma);
+        }
         let mut consecutive_breakdowns = 0usize;
         let mut no_progress_cycles = 0usize;
 
@@ -312,6 +354,9 @@ impl SStepGmres {
             });
             step_history.push(s);
             cycles_started += 1;
+            // Baseline for this cycle's fault accounting (all zero when
+            // guards are off).
+            let fault_base = guard.as_ref().map(|c| c.counts()).unwrap_or_default();
             // Per-cycle wall-time breakdown: plain clock reads, always on
             // (does not touch the arithmetic).  The trace span only fires
             // when the tracing layer is enabled.
@@ -336,6 +381,7 @@ impl SStepGmres {
             // scheme sees its panels starting at column 0.
             let before = comm.stats().snapshot();
             clock.lap(Phase::Other);
+            fault::set_phase("ortho");
             let first = {
                 let _sp = trace::span2("solver", "ortho", "start", 0, "cols", 1);
                 ortho.orthogonalize_panel(&mut basis, 0..1, &mut r_factor)
@@ -349,6 +395,12 @@ impl SStepGmres {
                 // cycle's health for observability and stop.
                 let msg = format!("initial column: {e}");
                 breakdown = Some(msg.clone());
+                let faults = cycle_fault_delta(&guard, &fault_base);
+                if let Some(ctx) = &guard {
+                    // A fatal first column defeats the ladder: whatever was
+                    // poisoned this cycle stays unrecovered.
+                    ctx.resolve_poisoned(faults.poisoned, false);
+                }
                 health_history.push(build_health(
                     &self.config.step_policy,
                     cycles_started - 1,
@@ -360,6 +412,7 @@ impl SStepGmres {
                     Some(msg),
                     None,
                     &relres_history,
+                    &faults,
                 ));
                 cycle_timings.push(clock.finish());
                 break 'outer;
@@ -372,6 +425,7 @@ impl SStepGmres {
                 // --- Matrix-powers kernel: generate k new columns. ---
                 {
                     let _sp = trace::span2("solver", "mpk", "start", cols as u64, "k", k as u64);
+                    fault::set_phase("mpk");
                     for t in 0..k {
                         let input = cols - 1 + t;
                         if t == 0 {
@@ -381,7 +435,7 @@ impl SStepGmres {
                         }
                         precond.apply(basis.local().col(input), &mut z);
                         precond_count += 1;
-                        a.spmv(&z, &mut w);
+                        a.spmv_guarded(&z, &mut w, guard.as_deref());
                         spmv_count += 1;
                         let theta = current_basis.shift(input);
                         if theta != 0.0 {
@@ -397,6 +451,7 @@ impl SStepGmres {
                 clock.lap(Phase::Mpk);
                 // --- Block orthogonalization of the new panel. ---
                 let before = comm.stats().snapshot();
+                fault::set_phase("ortho");
                 let status = {
                     let _sp =
                         trace::span2("solver", "ortho", "start", cols as u64, "cols", k as u64);
@@ -443,6 +498,7 @@ impl SStepGmres {
 
             // --- Complete delayed orthogonalization and the projected solve. ---
             let before = comm.stats().snapshot();
+            fault::set_phase("ortho");
             let finish_status = {
                 let _sp = trace::span("solver", "ortho_finish");
                 ortho.finish(&mut basis, &mut r_factor)
@@ -463,13 +519,36 @@ impl SStepGmres {
             let cycle_events = ortho.fallback_events().to_vec();
             ortho_fallbacks += cycle_fallbacks;
             let finalized = ortho.finalized_cols().unwrap_or(cols).min(cols);
-            let k_use = finalized.saturating_sub(1);
+            let mut k_use = finalized.saturating_sub(1);
+            if let Some(ctx) = &guard {
+                if ctx.take_alarm() {
+                    // A replicated scalar diverged across ranks: nothing
+                    // this cycle computed can be trusted to be consistent.
+                    // Abandon the cycle (no solution update) and
+                    // resynchronize the replicated residual norm with a
+                    // fresh reduce of the untouched local residuals.
+                    let msg =
+                        "cross-rank divergence: agreement probe on the replicated residual norm"
+                            .to_string();
+                    if breakdown.is_none() {
+                        breakdown = Some(msg.clone());
+                    }
+                    if cycle_breakdown.is_none() {
+                        cycle_breakdown = Some(msg);
+                    }
+                    fault::set_phase("residual");
+                    gamma = global_norm(&residual, comm.as_ref(), guard.as_deref());
+                    ctx.stage_agreement(gamma);
+                    k_use = 0;
+                }
+            }
             if k_use == 0 {
                 // Nothing usable was generated in this cycle: without an
                 // update the next cycle would start from the same residual,
                 // so give up after repeated empty cycles — unless the Auto
                 // policy can still rescue by shrinking the step.
                 no_progress_cycles += 1;
+                let faults = cycle_fault_delta(&guard, &fault_base);
                 let health = build_health(
                     &self.config.step_policy,
                     cycles_started - 1,
@@ -481,6 +560,7 @@ impl SStepGmres {
                     cycle_breakdown.clone(),
                     None,
                     &relres_history,
+                    &faults,
                 );
                 let decision = controller.observe(&health);
                 health_history.push(health);
@@ -495,7 +575,16 @@ impl SStepGmres {
                     );
                 }
                 cycle_timings.push(clock.finish());
-                if !decision.shrunk() && (no_progress_cycles >= 2 || consecutive_breakdowns >= 3) {
+                let giving_up =
+                    !decision.shrunk() && (no_progress_cycles >= 2 || consecutive_breakdowns >= 3);
+                if let Some(ctx) = &guard {
+                    // The abandoned cycle *is* the rollback rung of the
+                    // ladder: poisoned payloads were discarded with the
+                    // cycle and the next one restarts from the last good
+                    // residual — unless the solver is giving up entirely.
+                    ctx.resolve_poisoned(faults.poisoned, !giving_up);
+                }
+                if giving_up {
                     break 'outer;
                 }
                 // An empty cycle yields no Hessenberg to harvest from; the
@@ -560,8 +649,15 @@ impl SStepGmres {
             let (y, _) = hess.least_squares(k_use, gamma);
             drop(hess_span);
             clock.lap(Phase::Hess);
-            // Solution update: x ← x + M⁻¹·(Q_{0..k_use}·y).
-            {
+            // Solution update: x ← x + M⁻¹·(Q_{0..k_use}·y).  A poisoned
+            // cycle can smuggle NaN into the projected solution without
+            // tripping the Cholesky; with guards on, never let it reach x,
+            // where it would be unrecoverable — skip the update and let the
+            // breakdown verdict shrink the step instead.  (Unguarded solves
+            // keep the seed behavior: corruption flows through, which is
+            // exactly the silent failure the fault campaign demonstrates.)
+            if guard.is_none() || y.iter().all(|v| v.is_finite()) {
+                fault::set_phase("update");
                 let _sp = trace::span1("solver", "update", "cols", k_use as u64);
                 let mut qy = vec![0.0; nloc];
                 dense::gemv_plus(&basis.local_cols(0..k_use), &y, &mut qy);
@@ -570,14 +666,28 @@ impl SStepGmres {
                 for (xi, zi) in x_local.iter_mut().zip(&z) {
                     *xi += zi;
                 }
+            } else {
+                let msg =
+                    "projected solution non-finite (poisoned cycle); update skipped".to_string();
+                if breakdown.is_none() {
+                    breakdown = Some(msg.clone());
+                }
+                if cycle_breakdown.is_none() {
+                    cycle_breakdown = Some(msg);
+                }
+                consecutive_breakdowns += 1;
             }
             restarts += 1;
             clock.lap(Phase::Update);
             // True residual for the next cycle / convergence verification.
             {
                 let _sp = trace::span("solver", "residual");
-                residual = compute_residual(a, x_local, b_local, &mut spmv_count);
-                gamma = global_norm(&residual, comm.as_ref());
+                fault::set_phase("residual");
+                residual = compute_residual(a, x_local, b_local, &mut spmv_count, guard.as_deref());
+                gamma = global_norm(&residual, comm.as_ref(), guard.as_deref());
+                if let Some(ctx) = &guard {
+                    ctx.stage_agreement(gamma);
+                }
             }
             relres_history.push(gamma / r0_norm);
             clock.lap(Phase::Residual);
@@ -585,6 +695,7 @@ impl SStepGmres {
             // diagonal, fallback events, the residual already reduced
             // above), so assembling and acting on the report costs zero
             // additional global reductions.
+            let faults = cycle_fault_delta(&guard, &fault_base);
             let health = build_health(
                 &self.config.step_policy,
                 cycles_started - 1,
@@ -596,9 +707,17 @@ impl SStepGmres {
                 cycle_breakdown.clone(),
                 Some(gamma / r0_norm),
                 &relres_history,
+                &faults,
             );
             let decision = controller.observe(&health);
             health_history.push(health);
+            // Verdict on this cycle's poisoned operations: the true residual
+            // just recomputed is the ground truth.  A finite norm means the
+            // rollback ladder absorbed the damage; a non-finite one means the
+            // corruption reached state we could not rebuild.
+            if let Some(ctx) = &guard {
+                ctx.resolve_poisoned(faults.poisoned, gamma.is_finite());
+            }
             if decision.shrunk() {
                 trace::instant2(
                     "solver",
@@ -628,6 +747,20 @@ impl SStepGmres {
         if gamma <= target {
             converged = true;
         }
+        fault::set_phase("");
+        // Any poisoned operations still pending (e.g. the solve ran out of
+        // cycles mid-rollback) get their verdict from the final outcome.
+        let (fault_events, faults_detected, faults_recovered, faults_unrecovered) = match &guard {
+            Some(ctx) => {
+                let pending = ctx.counts().poisoned;
+                if pending > 0 {
+                    ctx.resolve_poisoned(pending, converged);
+                }
+                let c = ctx.counts();
+                (ctx.events(), c.detected, c.recovered, c.unrecovered)
+            }
+            None => (Vec::new(), 0, 0, 0),
+        };
 
         SolveResult {
             converged,
@@ -647,6 +780,10 @@ impl SStepGmres {
             health_history,
             rescues: controller.shrinks(),
             cycle_timings,
+            fault_events,
+            faults_detected,
+            faults_recovered,
+            faults_unrecovered,
         }
     }
 }
@@ -666,6 +803,7 @@ fn build_health(
     breakdown: Option<String>,
     relres: Option<f64>,
     relres_history: &[f64],
+    faults: &GuardCounts,
 ) -> CycleHealth {
     let auto = match policy {
         StepPolicy::Auto(a) => a.clone(),
@@ -677,6 +815,9 @@ fn build_health(
             auto.stagnation_window,
             auto.stagnation_factor,
         );
+    // Poisoned operations have no final verdict at assessment time (the
+    // rollback has not been retried yet), so the health report treats them
+    // as unrecovered: the controller must react to the damage *this* cycle.
     let verdict = control::assess_cycle(
         &auto,
         breakdown.is_some(),
@@ -684,6 +825,7 @@ fn build_health(
         kappa_est,
         fallbacks,
         stagnated,
+        faults.poisoned + faults.unrecovered,
     );
     CycleHealth {
         cycle,
@@ -696,6 +838,27 @@ fn build_health(
         relres,
         stagnated,
         verdict,
+        faults_detected: faults.detected,
+        faults_recovered: faults.recovered,
+        faults_unrecovered: faults.poisoned + faults.unrecovered,
+    }
+}
+
+/// Fault-guard activity attributable to the current cycle: the guard's
+/// cumulative counters minus the snapshot taken when the cycle began.
+fn cycle_fault_delta(guard: &Option<Arc<GuardContext>>, base: &GuardCounts) -> GuardCounts {
+    match guard {
+        Some(ctx) => {
+            let c = ctx.counts();
+            GuardCounts {
+                detected: c.detected - base.detected,
+                recovered: c.recovered - base.recovered,
+                poisoned: c.poisoned - base.poisoned,
+                unrecovered: c.unrecovered - base.unrecovered,
+                retries: c.retries - base.retries,
+            }
+        }
+        None => GuardCounts::default(),
     }
 }
 
@@ -727,19 +890,40 @@ fn apply_rescue_basis(
     }
 }
 
-/// `r = b − A·x` on the local blocks.
-fn compute_residual(a: &DistCsr, x: &[f64], b: &[f64], spmv_count: &mut usize) -> Vec<f64> {
+/// `r = b − A·x` on the local blocks.  With an active guard the halo
+/// exchange inside the SpMV is checksummed; a corrupted or lost frame
+/// poisons the residual with NaN so the norm guard downstream trips.
+fn compute_residual(
+    a: &DistCsr,
+    x: &[f64],
+    b: &[f64],
+    spmv_count: &mut usize,
+    guard: Option<&GuardContext>,
+) -> Vec<f64> {
     let mut ax = vec![0.0; x.len()];
-    a.spmv(x, &mut ax);
+    a.spmv_guarded(x, &mut ax, guard);
     *spmv_count += 1;
     b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
 }
 
-/// Global 2-norm of a distributed vector (one single-word all-reduce).
-fn global_norm(local: &[f64], comm: &dyn distsim::Communicator) -> f64 {
-    let mut buf = [dense::dot(local, local)];
-    comm.allreduce_sum(&mut buf);
-    buf[0].max(0.0).sqrt()
+/// Global 2-norm of a distributed vector (one single-word all-reduce, or
+/// the guard's duplicated-word reduce when screening is on).
+fn global_norm(
+    local: &[f64],
+    comm: &dyn distsim::Communicator,
+    guard: Option<&GuardContext>,
+) -> f64 {
+    let local_sq = dense::dot(local, local);
+    match guard {
+        Some(ctx) if ctx.policy().gram_screen || ctx.policy().agreement => {
+            ctx.norm_reduce(comm, local_sq)
+        }
+        _ => {
+            let mut buf = [local_sq];
+            comm.allreduce_sum(&mut buf);
+            buf[0].max(0.0).sqrt()
+        }
+    }
 }
 
 /// Small extension trait used internally: fill a column of a multivector

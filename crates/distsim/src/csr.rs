@@ -243,6 +243,58 @@ impl DistCsr {
         let _span = trace::span1("spmv", "local", "rows", nloc as u64);
         self.local.spmv(&x_ext, y_local);
     }
+
+    /// [`spmv`](Self::spmv) with an optional checksummed halo exchange.
+    ///
+    /// With `guard` absent (or halo checksums disabled by its policy) this
+    /// is exactly [`spmv`](Self::spmv).  Otherwise every halo message is
+    /// framed with a per-peer sequence number and checksum
+    /// ([`crate::guard::encode_halo_frame`]): corrupted frames, dropped
+    /// messages (sequence gaps or receive timeouts) and duplicates are
+    /// detected at the receiver.  Duplicates are discarded exactly; an
+    /// unrecoverable message poisons the affected ghost values with NaN,
+    /// which cascades into the next Gram reduce as a breakdown and hands
+    /// the cycle to the solver's rollback ladder.
+    pub fn spmv_guarded(
+        &self,
+        x_local: &[f64],
+        y_local: &mut [f64],
+        guard: Option<&crate::guard::GuardContext>,
+    ) {
+        let ctx = match guard {
+            Some(ctx) if ctx.policy().halo_checksum && self.comm.size() > 1 => ctx,
+            _ => return self.spmv(x_local, y_local),
+        };
+        let nloc = self.local.nrows();
+        assert_eq!(x_local.len(), nloc, "spmv: x length mismatch");
+        assert_eq!(y_local.len(), nloc, "spmv: y length mismatch");
+        {
+            let _span = trace::span1(
+                "spmv",
+                "halo_pack_send",
+                "peers",
+                self.plan.send.len() as u64,
+            );
+            for block in &self.plan.send {
+                let payload: Vec<f64> = block.local_indices.iter().map(|&i| x_local[i]).collect();
+                ctx.send_halo(self.comm.as_ref(), block.peer, &payload);
+            }
+        }
+        let mut x_ext = vec![0.0; nloc + self.plan.recv_words()];
+        x_ext[..nloc].copy_from_slice(x_local);
+        {
+            let _span = trace::span1("spmv", "halo_wait", "peers", self.plan.recv.len() as u64);
+            for block in &self.plan.recv {
+                let ghosts = &mut x_ext[nloc + block.start..nloc + block.start + block.len];
+                match ctx.recv_halo(self.comm.as_ref(), block.peer, block.len) {
+                    Some(data) => ghosts.copy_from_slice(&data),
+                    None => ghosts.fill(f64::NAN),
+                }
+            }
+        }
+        let _span = trace::span1("spmv", "local", "rows", nloc as u64);
+        self.local.spmv(&x_ext, y_local);
+    }
 }
 
 #[cfg(test)]

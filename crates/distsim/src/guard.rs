@@ -1,0 +1,908 @@
+//! Low-overhead fault-detection guards and in-place recovery.
+//!
+//! The s-step solver's communication surface is tiny — Gram-matrix
+//! all-reduces, one-word norm reduces, and the halo exchange of the
+//! matrix-powers kernel — and each of those carries algebraic structure
+//! that a fault almost certainly breaks.  The guards exploit that
+//! structure instead of paying for generic duplication:
+//!
+//! * **Gram screen** — the reduced Gram matrix `Vᵀ·V` is *bitwise*
+//!   symmetric: each rank's local contribution `dense::gram` fills both
+//!   triangles from one fused product, and the rank-ordered collective sum
+//!   preserves the bit pattern.  Any single corrupted off-diagonal word
+//!   breaks symmetry; diagonal words must be finite and non-negative
+//!   (they are sums of squares).  Cost: an `O(s²)` comparison per reduce,
+//!   no extra communication.
+//! * **Duplicated norm words** — a residual-norm reduce is the 1×1 Gram of
+//!   the residual; symmetry degenerates, so the contribution is sent
+//!   twice in one payload (`[dot, dot]`, still one reduction).  A single
+//!   flip anywhere makes the two replicated sums differ bitwise.
+//! * **Agreement probe** — the solver's control decisions replicate a
+//!   scalar (the cycle residual norm) on every rank; divergence there is
+//!   the one fault that silently desynchronizes ranks.  The probe encodes
+//!   the staged scalar's bits as two exact small integers and folds a
+//!   signed combination into the *next* guarded reduce: the extra words
+//!   sum to exactly `0.0` iff every rank staged the same bit pattern.
+//!   Zero extra reductions.
+//! * **Halo checksum** — each halo message is framed with a per-peer
+//!   sequence number and a mixed XOR checksum.  A flipped bit anywhere in
+//!   the frame is detected; a dropped message surfaces as a sequence gap
+//!   or a receive timeout; a duplicated message is discarded exactly.
+//!
+//! Detection verdicts on collectives are **replicated** by construction —
+//! every screen reads only the post-reduce buffer, which is identical on
+//! all ranks — so the bounded retry
+//! ([`Communicator::allreduce_sum_retry`]) is itself a safe collective.
+//! When retries are exhausted (or a halo message is unrecoverable) the
+//! payload is *poisoned* with NaN, which flows into the next Cholesky
+//! factorization as a breakdown: the solver's existing cycle-rollback and
+//! step-shrinking machinery then recovers from the last restart vector.
+//! That layering — retry, poison, rollback, degrade — is the recovery
+//! ladder described in the README.
+//!
+//! Everything here is gated on [`GuardPolicy`]; with all guards disabled
+//! (the default) no `GuardContext` is ever allocated and the solver's
+//! communication is bitwise identical to the unguarded build.  The
+//! `guards-off` cargo feature additionally pins [`GuardPolicy::any_enabled`]
+//! to `false` at compile time so the whole layer folds away, mirroring the
+//! `trace` crate's `off` feature.
+
+use crate::comm::Communicator;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which guards run, and how persistent recovery is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Screen reduced Gram matrices (finiteness, bitwise symmetry,
+    /// non-negative diagonal) and duplicate the words of norm reduces.
+    pub gram_screen: bool,
+    /// Frame halo-exchange messages with sequence numbers and checksums.
+    pub halo_checksum: bool,
+    /// Piggyback a cross-rank agreement probe for replicated scalars on
+    /// guarded reduces.
+    pub agreement: bool,
+    /// How many times a failed collective is retried before its payload is
+    /// poisoned and the cycle rolled back.
+    pub max_retries: usize,
+    /// Patience of a guarded halo receive before the message is written
+    /// off (milliseconds).
+    pub halo_timeout_ms: u64,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            gram_screen: false,
+            halo_checksum: false,
+            agreement: false,
+            max_retries: 2,
+            halo_timeout_ms: 5_000,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// Every guard on, with default retry/timeout budgets.
+    pub fn all() -> Self {
+        GuardPolicy {
+            gram_screen: true,
+            halo_checksum: true,
+            agreement: true,
+            ..GuardPolicy::default()
+        }
+    }
+
+    /// Whether any guard is active.  Compiled to `false` under the
+    /// `guards-off` cargo feature, so guarded call sites fold down to
+    /// their unguarded bodies.
+    pub fn any_enabled(&self) -> bool {
+        if cfg!(feature = "guards-off") {
+            return false;
+        }
+        self.gram_screen || self.halo_checksum || self.agreement
+    }
+}
+
+/// What a guarded reduce's payload should look like when healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Screen {
+    /// The payload ends (at `offset`) with an `s × s` column-major Gram
+    /// block: everything finite, block bitwise symmetric, diagonal
+    /// non-negative.
+    Gram {
+        /// Start of the Gram block within the payload.
+        offset: usize,
+        /// Block dimension.
+        s: usize,
+    },
+    /// The payload is a non-negative scalar duplicated as `[x, x]`:
+    /// finite, bitwise-equal halves, non-negative.
+    NormDup,
+    /// Finiteness only.
+    Finite,
+    /// No screening — used to carry an agreement probe on a reduce whose
+    /// payload the policy does not screen.
+    None,
+}
+
+fn screen_ok(buf: &[f64], screen: Screen) -> bool {
+    if screen == Screen::None {
+        return true;
+    }
+    if buf.iter().any(|v| !v.is_finite()) {
+        return false;
+    }
+    match screen {
+        Screen::None => unreachable!(),
+        Screen::Finite => true,
+        Screen::NormDup => {
+            debug_assert_eq!(buf.len(), 2);
+            buf[0].to_bits() == buf[1].to_bits() && buf[0] >= 0.0
+        }
+        Screen::Gram { offset, s } => {
+            let g = &buf[offset..offset + s * s];
+            for i in 0..s {
+                if g[i * s + i] < 0.0 {
+                    return false;
+                }
+                for j in (i + 1)..s {
+                    if g[i * s + j].to_bits() != g[j * s + i].to_bits() {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// One detected fault, as the guards saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardEvent {
+    /// Which guard fired: `"gram_screen"`, `"norm_dup"`, `"agreement"`,
+    /// `"halo_checksum"`, `"halo_seq"`, `"halo_timeout"`.
+    pub guard: &'static str,
+    /// Solver phase tag in effect (see [`crate::fault::set_phase`]).
+    pub phase: &'static str,
+    /// `"recovered"` (fixed in place), `"poisoned"` (handed to the
+    /// cycle-rollback ladder), or `"unrecovered"`.
+    pub outcome: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Snapshot of a [`GuardContext`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardCounts {
+    /// Faults detected by any guard.
+    pub detected: usize,
+    /// Faults fully recovered in place (successful retry, discarded
+    /// duplicate).
+    pub recovered: usize,
+    /// Faults that exhausted in-place recovery and were handed to the
+    /// cycle-rollback ladder as poisoned payloads (pending resolution).
+    pub poisoned: usize,
+    /// Faults that defeated the ladder.
+    pub unrecovered: usize,
+    /// Collective retries issued.
+    pub retries: usize,
+}
+
+#[derive(Debug, Default)]
+struct HaloState {
+    /// Next sequence number per destination peer.
+    send_seq: HashMap<usize, u64>,
+    /// Next expected sequence number per source peer.
+    recv_seq: HashMap<usize, u64>,
+    /// Early-arrived frames per source peer, keyed by sequence number.
+    stash: HashMap<usize, BTreeMap<u64, Vec<f64>>>,
+}
+
+/// Per-rank guard state: counters, the fault-event log, agreement-probe
+/// staging, and halo sequencing.  Interior-mutable so it can sit behind an
+/// `Arc` next to the communicator.
+#[derive(Debug)]
+pub struct GuardContext {
+    policy: GuardPolicy,
+    detected: AtomicUsize,
+    recovered: AtomicUsize,
+    poisoned: AtomicUsize,
+    unrecovered: AtomicUsize,
+    retries: AtomicUsize,
+    events: Mutex<Vec<GuardEvent>>,
+    /// Scalar staged for the next agreement probe.
+    staged: Mutex<Option<f64>>,
+    /// Set when a probe detects cross-rank divergence; the solver takes it
+    /// and rolls the cycle back.
+    alarm: AtomicBool,
+    halo: Mutex<HaloState>,
+}
+
+impl GuardContext {
+    /// Fresh per-rank guard state for the given policy.
+    pub fn new(policy: GuardPolicy) -> Arc<GuardContext> {
+        Arc::new(GuardContext {
+            policy,
+            detected: AtomicUsize::new(0),
+            recovered: AtomicUsize::new(0),
+            poisoned: AtomicUsize::new(0),
+            unrecovered: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            events: Mutex::new(Vec::new()),
+            staged: Mutex::new(None),
+            alarm: AtomicBool::new(false),
+            halo: Mutex::new(HaloState::default()),
+        })
+    }
+
+    /// The policy this context was built with.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Current counter values.
+    pub fn counts(&self) -> GuardCounts {
+        GuardCounts {
+            detected: self.detected.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            unrecovered: self.unrecovered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fault-event log so far, in detection order.
+    pub fn events(&self) -> Vec<GuardEvent> {
+        self.events
+            .lock()
+            .expect("guard event log poisoned")
+            .clone()
+    }
+
+    fn record(&self, guard: &'static str, outcome: &'static str, detail: String) {
+        trace::instant("guard", guard);
+        self.detected.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            "recovered" => {
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            "poisoned" => {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.unrecovered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.events
+            .lock()
+            .expect("guard event log poisoned")
+            .push(GuardEvent {
+                guard,
+                phase: crate::fault::current_phase(),
+                outcome,
+                detail,
+            });
+    }
+
+    /// Resolve `n` pending poisoned faults: the solver calls this when the
+    /// cycle rollback that absorbs them completes (recovered) or when it
+    /// gives up (unrecovered).
+    pub fn resolve_poisoned(&self, n: usize, recovered: bool) {
+        let n = n.min(self.poisoned.load(Ordering::Relaxed));
+        self.poisoned.fetch_sub(n, Ordering::Relaxed);
+        if recovered {
+            self.recovered.fetch_add(n, Ordering::Relaxed);
+        } else {
+            self.unrecovered.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    // ----- agreement probe -------------------------------------------------
+
+    /// Stage a replicated scalar for cross-rank agreement checking; the
+    /// probe rides on the next guarded reduce.
+    pub fn stage_agreement(&self, value: f64) {
+        if self.policy.agreement {
+            *self.staged.lock().expect("agreement stage poisoned") = Some(value);
+        }
+    }
+
+    /// Take (and clear) the divergence alarm.
+    pub fn take_alarm(&self) -> bool {
+        self.alarm.swap(false, Ordering::Relaxed)
+    }
+
+    /// The probe contribution for a staged value: the value's 64 bit
+    /// pattern split into two 32-bit halves, each an exactly-representable
+    /// integer.  Rank 0 contributes `+(size-1)·half`, every other rank
+    /// `-half`, so the collective sum is exactly `0.0` iff all ranks
+    /// staged the same bits (exact as long as `(size-1)·half < 2^53`,
+    /// i.e. for any group smaller than 2^21 ranks).
+    fn probe_words(value: f64, rank: usize, size: usize) -> [f64; 2] {
+        let bits = value.to_bits();
+        let hi = (bits >> 32) as u32 as f64;
+        let lo = bits as u32 as f64;
+        if rank == 0 {
+            let n = (size - 1) as f64;
+            [n * hi, n * lo]
+        } else {
+            [-hi, -lo]
+        }
+    }
+
+    // ----- guarded collectives ---------------------------------------------
+
+    /// Guarded drop-in for [`Communicator::allreduce_sum`]: screens the
+    /// replicated result, retries boundedly on detection, and poisons the
+    /// buffer with NaN when retries are exhausted.  Returns `false` when
+    /// poisoned.  Exactly one reduction in the fault-free case; an
+    /// agreement probe staged via [`stage_agreement`](Self::stage_agreement)
+    /// is folded into the same reduction.
+    pub fn allreduce(&self, comm: &dyn Communicator, buf: &mut [f64], screen: Screen) -> bool {
+        let n = buf.len();
+        let staged = self.staged.lock().expect("agreement stage poisoned").take();
+        let mut contribution = Vec::with_capacity(n + 2);
+        contribution.extend_from_slice(buf);
+        if let Some(v) = staged {
+            contribution.extend_from_slice(&Self::probe_words(v, comm.rank(), comm.size()));
+        }
+        let saved = contribution.clone();
+        let mut payload = contribution;
+        comm.allreduce_sum(&mut payload);
+        let mut ok = screen_ok(&payload[..n], screen);
+        if !ok {
+            let mut attempts = 0;
+            while !ok && attempts < self.policy.max_retries {
+                attempts += 1;
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                payload.copy_from_slice(&saved);
+                comm.allreduce_sum_retry(&mut payload);
+                ok = screen_ok(&payload[..n], screen);
+            }
+            let guard = match screen {
+                Screen::NormDup => "norm_dup",
+                _ => "gram_screen",
+            };
+            if ok {
+                self.record(
+                    guard,
+                    "recovered",
+                    format!("corrupted {n}-word reduce recovered after {attempts} retr(ies)"),
+                );
+            } else {
+                self.record(
+                    guard,
+                    "poisoned",
+                    format!(
+                        "{n}-word reduce still corrupt after {attempts} retr(ies); \
+                         payload poisoned for cycle rollback"
+                    ),
+                );
+                buf.fill(f64::NAN);
+                return false;
+            }
+        }
+        // The probe reads the *accepted* payload, so a retried reduce is
+        // re-probed for free.
+        if staged.is_some() {
+            let hi = payload[n];
+            let lo = payload[n + 1];
+            if hi != 0.0 || lo != 0.0 {
+                self.alarm.store(true, Ordering::Relaxed);
+                self.record(
+                    "agreement",
+                    "poisoned",
+                    format!("replicated-scalar divergence (probe sums {hi}, {lo})"),
+                );
+            }
+        }
+        buf.copy_from_slice(&payload[..n]);
+        true
+    }
+
+    /// Guarded replacement for the one-word norm reduce: the local sum of
+    /// squares is sent as a duplicated pair (one reduction, two words) and
+    /// screened with [`Screen::NormDup`].  Returns NaN when unrecoverable
+    /// (which downstream convergence logic treats as a breakdown).
+    pub fn norm_reduce(&self, comm: &dyn Communicator, local_sq: f64) -> f64 {
+        if !self.policy.gram_screen {
+            let mut buf = [local_sq];
+            if !self.allreduce(comm, &mut buf, Screen::None) {
+                return f64::NAN;
+            }
+            return buf[0].max(0.0).sqrt();
+        }
+        let mut buf = [local_sq, local_sq];
+        if !self.allreduce(comm, &mut buf, Screen::NormDup) {
+            return f64::NAN;
+        }
+        buf[0].sqrt()
+    }
+
+    // ----- guarded halo exchange -------------------------------------------
+
+    /// Frame a halo payload for a guarded send to `peer`: sequence word,
+    /// checksum word, then the payload.
+    pub fn send_halo(&self, comm: &dyn Communicator, peer: usize, payload: &[f64]) {
+        let seq = {
+            let mut halo = self.halo.lock().expect("halo state poisoned");
+            let c = halo.send_seq.entry(peer).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        comm.send(peer, &encode_halo_frame(seq, payload));
+    }
+
+    /// Receive one guarded halo message from `peer`.  Returns the payload,
+    /// or `None` when this round's message is written off (timeout,
+    /// checksum mismatch, or a sequence gap proving a drop) — the caller
+    /// poisons the affected ghost values, and the NaN cascade hands the
+    /// cycle to the rollback ladder.  Duplicated messages are discarded
+    /// exactly; early-arrived frames are stashed for their round.
+    pub fn recv_halo(
+        &self,
+        comm: &dyn Communicator,
+        from: usize,
+        want_words: usize,
+    ) -> Option<Vec<f64>> {
+        let expected = {
+            let mut halo = self.halo.lock().expect("halo state poisoned");
+            let c = halo.recv_seq.entry(from).or_insert(0);
+            let s = *c;
+            // One logical message per round: written off or delivered, the
+            // round is consumed.
+            *c += 1;
+            if let Some(frame) = halo
+                .stash
+                .get_mut(&from)
+                .and_then(|pending| pending.remove(&s))
+            {
+                return Some(frame);
+            }
+            s
+        };
+        let timeout = Duration::from_millis(self.policy.halo_timeout_ms);
+        loop {
+            let frame = match comm.recv_timeout(from, timeout) {
+                Ok(frame) => frame,
+                Err(err) => {
+                    self.record("halo_timeout", "poisoned", err.to_string());
+                    return None;
+                }
+            };
+            let Some((seq, payload)) = decode_halo_frame(&frame) else {
+                self.record(
+                    "halo_checksum",
+                    "poisoned",
+                    format!("corrupt halo frame from rank {from} (round {expected})"),
+                );
+                return None;
+            };
+            if payload.len() != want_words {
+                self.record(
+                    "halo_checksum",
+                    "poisoned",
+                    format!(
+                        "halo frame from rank {from}: {} words, expected {want_words}",
+                        payload.len()
+                    ),
+                );
+                return None;
+            }
+            match seq.cmp(&expected) {
+                std::cmp::Ordering::Equal => return Some(payload.to_vec()),
+                std::cmp::Ordering::Less => {
+                    // A duplicate (or a stalled message from a written-off
+                    // round): discard and keep waiting — full recovery.
+                    self.record(
+                        "halo_seq",
+                        "recovered",
+                        format!("discarded duplicate halo frame {seq} from rank {from}"),
+                    );
+                }
+                std::cmp::Ordering::Greater => {
+                    // Sequence gap: this round's message was dropped and a
+                    // later round's frame arrived early.  Stash it for its
+                    // round and write this round off.
+                    self.halo
+                        .lock()
+                        .expect("halo state poisoned")
+                        .stash
+                        .entry(from)
+                        .or_default()
+                        .insert(seq, payload.to_vec());
+                    self.record(
+                        "halo_seq",
+                        "poisoned",
+                        format!(
+                            "halo frame {expected} from rank {from} missing \
+                             (frame {seq} arrived instead: message dropped)"
+                        ),
+                    );
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Mix a sequence number and payload bits into a 64-bit checksum.  Word
+/// positions are rotated into the fold so reordered or displaced words are
+/// caught, not just flipped bits.
+fn halo_checksum(seq: u64, payload: &[f64]) -> u64 {
+    let mut c = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93;
+    for (i, w) in payload.iter().enumerate() {
+        c ^= w.to_bits().rotate_left((i % 63) as u32 + 1);
+        c = c.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    c
+}
+
+/// Frame a guarded halo message: `[seq, checksum, payload...]`, with the
+/// two control words carried as raw bit patterns (the transport moves
+/// `f64` words verbatim, so NaN-pattern bit payloads survive).
+pub fn encode_halo_frame(seq: u64, payload: &[f64]) -> Vec<f64> {
+    let mut frame = Vec::with_capacity(payload.len() + 2);
+    frame.push(f64::from_bits(seq));
+    frame.push(f64::from_bits(halo_checksum(seq, payload)));
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decode a guarded halo frame; `None` when the checksum does not match
+/// (a flipped bit anywhere in the frame, including the control words).
+pub fn decode_halo_frame(frame: &[f64]) -> Option<(u64, &[f64])> {
+    if frame.len() < 2 {
+        return None;
+    }
+    let seq = frame[0].to_bits();
+    let checksum = frame[1].to_bits();
+    let payload = &frame[2..];
+    if halo_checksum(seq, payload) != checksum {
+        return None;
+    }
+    Some((seq, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyComm, OpKind, Target};
+    use crate::serial::SerialComm;
+    use crate::thread::run_ranks;
+
+    fn flip_plan(rank: usize, seq: u64, word: usize) -> FaultPlan {
+        FaultPlan::none().with(
+            Target::nth(OpKind::Allreduce, seq).on_rank(rank),
+            FaultKind::BitFlip {
+                word: Some(word),
+                bit: 62,
+            },
+        )
+    }
+
+    #[test]
+    fn gram_screen_accepts_a_healthy_reduce() {
+        let ctx = GuardContext::new(GuardPolicy::all());
+        let comm = SerialComm::new();
+        // 2×2 Gram of [[1,2],[2,8]] — symmetric, nonneg diagonal.
+        let mut g = [1.0, 2.0, 2.0, 8.0];
+        assert!(ctx.allreduce(comm.as_ref(), &mut g, Screen::Gram { offset: 0, s: 2 }));
+        assert_eq!(g, [1.0, 2.0, 2.0, 8.0]);
+        assert_eq!(ctx.counts(), GuardCounts::default());
+        assert_eq!(comm.stats().snapshot().allreduces, 1);
+        assert_eq!(comm.stats().snapshot().allreduce_retries, 0);
+    }
+
+    #[test]
+    fn gram_screen_detects_and_retries_a_contribution_flip() {
+        let results = run_ranks(3, |comm| {
+            // Rank 1's first allreduce contribution gets an off-diagonal
+            // bit flipped; the retry (the second allreduce op) is clean.
+            let faulty = FaultyComm::wrap(comm, flip_plan(1, 0, 1));
+            let ctx = GuardContext::new(GuardPolicy::all());
+            let mut g = [1.0, 2.0, 2.0, 8.0];
+            let ok = ctx.allreduce(faulty.as_ref(), &mut g, Screen::Gram { offset: 0, s: 2 });
+            (ok, g, ctx.counts(), faulty.stats().snapshot())
+        });
+        for (ok, g, counts, stats) in results {
+            assert!(ok);
+            assert_eq!(g, [3.0, 6.0, 6.0, 24.0], "recovered the true sum");
+            assert_eq!(counts.detected, 1);
+            assert_eq!(counts.recovered, 1);
+            assert_eq!(counts.retries, 1);
+            assert_eq!(stats.allreduces, 1, "retries audit separately");
+            assert_eq!(stats.allreduce_retries, 1);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_poison_the_payload() {
+        let results = run_ranks(2, |comm| {
+            // Flip every allreduce this rank-0 issues (seq 0, 1, 2): the
+            // first attempt and both retries stay corrupt.
+            let plan = FaultPlan::none()
+                .with(
+                    Target::nth(OpKind::Allreduce, 0).on_rank(0),
+                    FaultKind::BitFlip {
+                        word: Some(1),
+                        bit: 62,
+                    },
+                )
+                .with(
+                    Target::nth(OpKind::Allreduce, 1).on_rank(0),
+                    FaultKind::BitFlip {
+                        word: Some(1),
+                        bit: 62,
+                    },
+                )
+                .with(
+                    Target::nth(OpKind::Allreduce, 2).on_rank(0),
+                    FaultKind::BitFlip {
+                        word: Some(1),
+                        bit: 62,
+                    },
+                );
+            let faulty = FaultyComm::wrap(comm, plan);
+            let ctx = GuardContext::new(GuardPolicy::all());
+            let mut g = [1.0, 2.0, 2.0, 8.0];
+            let ok = ctx.allreduce(faulty.as_ref(), &mut g, Screen::Gram { offset: 0, s: 2 });
+            (ok, g, ctx.counts())
+        });
+        for (ok, g, counts) in results {
+            assert!(!ok);
+            assert!(g.iter().all(|v| v.is_nan()), "payload poisoned");
+            assert_eq!(counts.detected, 1);
+            assert_eq!(counts.poisoned, 1);
+            assert_eq!(counts.retries, 2, "bounded by max_retries");
+        }
+    }
+
+    #[test]
+    fn poisoned_faults_resolve_into_recovered_or_not() {
+        let ctx = GuardContext::new(GuardPolicy::all());
+        ctx.record("gram_screen", "poisoned", "test".into());
+        ctx.record("gram_screen", "poisoned", "test".into());
+        ctx.resolve_poisoned(1, true);
+        ctx.resolve_poisoned(1, false);
+        let c = ctx.counts();
+        assert_eq!((c.poisoned, c.recovered, c.unrecovered), (0, 1, 1));
+    }
+
+    #[test]
+    fn norm_dup_catches_a_flip_in_the_one_word_reduce() {
+        let results = run_ranks(2, |comm| {
+            let faulty = FaultyComm::wrap(comm, flip_plan(0, 0, 0));
+            let ctx = GuardContext::new(GuardPolicy::all());
+            let norm = ctx.norm_reduce(faulty.as_ref(), 8.0);
+            (norm, ctx.counts(), faulty.stats().snapshot())
+        });
+        for (norm, counts, stats) in results {
+            assert_eq!(norm, 4.0, "sqrt(8 + 8) recovered exactly");
+            assert_eq!(counts.detected, 1);
+            assert_eq!(counts.recovered, 1);
+            assert_eq!(stats.allreduces, 1, "duplication costs words, not reduces");
+        }
+    }
+
+    #[test]
+    fn agreement_probe_passes_when_ranks_agree() {
+        let results = run_ranks(3, |comm| {
+            let ctx = GuardContext::new(GuardPolicy::all());
+            ctx.stage_agreement(0.123456789);
+            let mut buf = [1.0];
+            ctx.allreduce(comm.as_ref(), &mut buf, Screen::Finite);
+            (buf[0], ctx.take_alarm(), ctx.counts().detected)
+        });
+        for (sum, alarm, detected) in results {
+            assert_eq!(sum, 3.0, "probe words are stripped from the result");
+            assert!(!alarm);
+            assert_eq!(detected, 0);
+        }
+    }
+
+    #[test]
+    fn agreement_probe_flags_a_divergent_rank() {
+        let results = run_ranks(3, |comm| {
+            let ctx = GuardContext::new(GuardPolicy::all());
+            let v = if comm.rank() == 2 {
+                // One ulp off: the divergence a plain equality of rounded
+                // prints would miss.
+                f64::from_bits(0.123456789f64.to_bits() + 1)
+            } else {
+                0.123456789
+            };
+            ctx.stage_agreement(v);
+            let mut buf = [1.0];
+            ctx.allreduce(comm.as_ref(), &mut buf, Screen::Finite);
+            (buf[0], ctx.take_alarm())
+        });
+        for (sum, alarm) in results {
+            assert_eq!(sum, 3.0);
+            assert!(alarm, "every rank sees the same replicated alarm");
+        }
+    }
+
+    #[test]
+    fn agreement_probe_is_exact_for_single_rank_groups() {
+        let ctx = GuardContext::new(GuardPolicy::all());
+        let comm = SerialComm::new();
+        ctx.stage_agreement(42.0);
+        let mut buf = [1.0];
+        assert!(ctx.allreduce(comm.as_ref(), &mut buf, Screen::Finite));
+        assert!(!ctx.take_alarm());
+    }
+
+    #[test]
+    fn halo_frame_roundtrips_and_catches_every_single_bit_flip() {
+        let payload = [1.5, -2.25, 1e-300, 0.0];
+        let frame = encode_halo_frame(7, &payload);
+        let (seq, got) = decode_halo_frame(&frame).expect("clean frame decodes");
+        assert_eq!(seq, 7);
+        assert_eq!(got, payload);
+        for word in 0..frame.len() {
+            for bit in 0..64 {
+                let mut corrupt = frame.clone();
+                corrupt[word] = f64::from_bits(corrupt[word].to_bits() ^ (1u64 << bit));
+                let decoded = decode_halo_frame(&corrupt);
+                match decoded {
+                    None => {}
+                    Some((s, p)) => {
+                        // A flip in the seq word that still checksums is
+                        // impossible; a flip must change something.
+                        assert!(
+                            s != 7 || p != payload,
+                            "undetected flip at word {word} bit {bit}"
+                        );
+                        panic!("checksum missed a flip at word {word} bit {bit}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_halo_delivers_in_order_payloads() {
+        let results = run_ranks(2, |comm| {
+            let ctx = GuardContext::new(GuardPolicy::all());
+            if comm.rank() == 0 {
+                ctx.send_halo(comm.as_ref(), 1, &[1.0, 2.0]);
+                ctx.send_halo(comm.as_ref(), 1, &[3.0, 4.0]);
+                Vec::new()
+            } else {
+                vec![
+                    ctx.recv_halo(comm.as_ref(), 0, 2),
+                    ctx.recv_halo(comm.as_ref(), 0, 2),
+                ]
+            }
+        });
+        assert_eq!(results[1], vec![Some(vec![1.0, 2.0]), Some(vec![3.0, 4.0])]);
+    }
+
+    #[test]
+    fn guarded_halo_discards_duplicates_exactly() {
+        let results = run_ranks(2, |comm| {
+            let plan = FaultPlan::none().with(
+                Target::nth(OpKind::Send, 0).on_rank(0),
+                FaultKind::DuplicateMessage,
+            );
+            let faulty = FaultyComm::wrap(comm, plan);
+            let ctx = GuardContext::new(GuardPolicy::all());
+            if faulty.rank() == 0 {
+                ctx.send_halo(faulty.as_ref(), 1, &[1.0]);
+                ctx.send_halo(faulty.as_ref(), 1, &[2.0]);
+                (Vec::new(), GuardCounts::default())
+            } else {
+                let got = vec![
+                    ctx.recv_halo(faulty.as_ref(), 0, 1),
+                    ctx.recv_halo(faulty.as_ref(), 0, 1),
+                ];
+                (got, ctx.counts())
+            }
+        });
+        let (got, counts) = &results[1];
+        assert_eq!(got, &vec![Some(vec![1.0]), Some(vec![2.0])]);
+        assert_eq!(counts.detected, 1, "the duplicate was seen");
+        assert_eq!(counts.recovered, 1, "and fully recovered");
+    }
+
+    #[test]
+    fn guarded_halo_survives_a_dropped_message_via_the_stash() {
+        let results = run_ranks(2, |comm| {
+            let plan = FaultPlan::none().with(
+                Target::nth(OpKind::Send, 0).on_rank(0),
+                FaultKind::DropMessage,
+            );
+            let faulty = FaultyComm::wrap(comm, plan);
+            let mut policy = GuardPolicy::all();
+            policy.halo_timeout_ms = 2_000;
+            let ctx = GuardContext::new(policy);
+            if faulty.rank() == 0 {
+                ctx.send_halo(faulty.as_ref(), 1, &[1.0]); // dropped
+                ctx.send_halo(faulty.as_ref(), 1, &[2.0]);
+                (Vec::new(), GuardCounts::default())
+            } else {
+                // Round 0's frame never arrives; round 1's arrives early,
+                // proving the drop without waiting out the timeout.
+                let got = vec![
+                    ctx.recv_halo(faulty.as_ref(), 0, 1),
+                    ctx.recv_halo(faulty.as_ref(), 0, 1),
+                ];
+                (got, ctx.counts())
+            }
+        });
+        let (got, counts) = &results[1];
+        assert_eq!(
+            got,
+            &vec![None, Some(vec![2.0])],
+            "round 0 written off, round 1 served from the stash"
+        );
+        assert_eq!(counts.detected, 1);
+        assert_eq!(counts.poisoned, 1, "the drop is handed to the ladder");
+    }
+
+    #[test]
+    fn guarded_halo_times_out_on_a_silent_peer() {
+        let results = run_ranks(2, |comm| {
+            let mut policy = GuardPolicy::all();
+            policy.halo_timeout_ms = 50;
+            let ctx = GuardContext::new(policy);
+            if comm.rank() == 0 {
+                // Send nothing.
+                (None, GuardCounts::default())
+            } else {
+                let got = ctx.recv_halo(comm.as_ref(), 0, 1);
+                (got, ctx.counts())
+            }
+        });
+        let (got, counts) = &results[1];
+        assert_eq!(*got, None);
+        assert_eq!(counts.detected, 1);
+        assert_eq!(counts.poisoned, 1);
+        assert_eq!(counts.recovered, 0);
+    }
+
+    #[test]
+    fn guarded_halo_detects_an_in_flight_flip() {
+        let results = run_ranks(2, |comm| {
+            let plan = FaultPlan::none().with(
+                Target::nth(OpKind::Send, 0).on_rank(0),
+                FaultKind::BitFlip {
+                    word: Some(2),
+                    bit: 17,
+                },
+            );
+            let faulty = FaultyComm::wrap(comm, plan);
+            let mut policy = GuardPolicy::all();
+            policy.halo_timeout_ms = 2_000;
+            let ctx = GuardContext::new(policy);
+            if faulty.rank() == 0 {
+                ctx.send_halo(faulty.as_ref(), 1, &[1.0, 2.0]);
+                (None, GuardCounts::default())
+            } else {
+                (ctx.recv_halo(faulty.as_ref(), 0, 2), ctx.counts())
+            }
+        });
+        let (got, counts) = &results[1];
+        assert_eq!(*got, None, "corrupt frame is rejected, ghosts poisoned");
+        assert_eq!(counts.detected, 1);
+        assert_eq!(counts.poisoned, 1);
+    }
+
+    #[cfg(not(feature = "guards-off"))]
+    #[test]
+    fn any_enabled_reflects_the_policy() {
+        assert!(!GuardPolicy::default().any_enabled());
+        assert!(GuardPolicy::all().any_enabled());
+    }
+
+    #[cfg(feature = "guards-off")]
+    #[test]
+    fn guards_off_feature_pins_any_enabled_false() {
+        assert!(!GuardPolicy::all().any_enabled());
+    }
+}

@@ -32,7 +32,16 @@
 //!   [`DistCsr::from_partitioned`]): each rank materializes only its own
 //!   row block — `O(nnz/P + halo)` peak memory — and the exchange plan is
 //!   negotiated by the [`assembly`] planner; [`DistCsr::from_global`] is a
-//!   thin wrapper streaming a replicated matrix through the same path.
+//!   thin wrapper streaming a replicated matrix through the same path;
+//! * [`FaultyComm`] / [`FaultPlan`] — a deterministic fault-injection
+//!   wrapper over any communicator (bit-flips, dropped/duplicated
+//!   messages, transient collective failures, rank stalls), seeded and
+//!   bitwise replayable;
+//! * [`GuardPolicy`] / [`GuardContext`] — low-overhead detection guards
+//!   (Gram-symmetry screening, duplicated norm words, cross-rank
+//!   agreement probes, checksummed halo frames) with bounded collective
+//!   retry and NaN-poisoning for cycle-level rollback.  The `guards-off`
+//!   cargo feature compiles the whole layer out, like `trace`'s `off`.
 //!
 //! Determinism: collective reductions combine per-rank contributions in
 //! rank order, so a given rank count always produces bitwise-identical
@@ -42,14 +51,20 @@
 pub mod assembly;
 pub mod comm;
 pub mod csr;
+pub mod fault;
+pub mod guard;
 pub mod multivector;
 pub mod serial;
 pub mod stats;
 pub mod thread;
 
 pub use assembly::{plan_halo_exchange, HaloPlan};
-pub use comm::Communicator;
+pub use comm::{default_recv_timeout, CommError, Communicator};
 pub use csr::DistCsr;
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultRates, FaultyComm, Injection, OpKind, Target,
+};
+pub use guard::{GuardContext, GuardCounts, GuardEvent, GuardPolicy, Screen};
 pub use multivector::DistMultiVector;
 pub use serial::SerialComm;
 pub use stats::{CommStats, CommStatsSnapshot, PeerTally};

@@ -15,6 +15,7 @@
 //! [`update_and_gram`]: DistMultiVector::update_and_gram
 
 use crate::comm::Communicator;
+use crate::guard::{GuardContext, Screen};
 use dense::{MatView, Matrix};
 use std::ops::Range;
 use std::sync::Arc;
@@ -27,6 +28,10 @@ pub struct DistMultiVector {
     global_rows: usize,
     row_offset: usize,
     local: Matrix,
+    /// Fault-detection guards for the Gram/norm reduces; `None` (the
+    /// default) leaves every collective bitwise identical to the
+    /// unguarded path.
+    guard: Option<Arc<GuardContext>>,
 }
 
 impl DistMultiVector {
@@ -43,6 +48,7 @@ impl DistMultiVector {
                 global_rows: n,
                 row_offset: 0,
                 local: full,
+                guard: None,
             };
         }
         let ranges = parkit::chunk_ranges(n, comm.size());
@@ -59,6 +65,7 @@ impl DistMultiVector {
             global_rows: n,
             row_offset: lo,
             local,
+            guard: None,
         }
     }
 
@@ -81,12 +88,42 @@ impl DistMultiVector {
             global_rows,
             row_offset,
             local: Matrix::zeros(local_rows, cols),
+            guard: None,
         }
     }
 
     /// The communicator this multivector lives on.
     pub fn comm(&self) -> &Arc<dyn Communicator> {
         &self.comm
+    }
+
+    /// Attach (or detach) fault-detection guards: subsequent Gram and norm
+    /// reduces are screened, retried and — on exhaustion — NaN-poisoned
+    /// through `ctx`.  Guarded reduces perform exactly as many reductions
+    /// as unguarded ones.
+    pub fn set_guard(&mut self, guard: Option<Arc<GuardContext>>) {
+        self.guard = guard;
+    }
+
+    /// The attached guard context, if any.
+    pub fn guard(&self) -> Option<&Arc<GuardContext>> {
+        self.guard.as_ref()
+    }
+
+    /// One all-reduce, routed through the guards when attached.  `screen`
+    /// describes the healthy shape of the payload; with guards detached
+    /// (or screening disabled by policy) this is exactly
+    /// `comm.allreduce_sum`.
+    fn reduce(&self, buf: &mut [f64], screen: Screen) {
+        match &self.guard {
+            Some(ctx) if ctx.policy().gram_screen => {
+                ctx.allreduce(self.comm.as_ref(), buf, screen);
+            }
+            Some(ctx) if ctx.policy().agreement => {
+                ctx.allreduce(self.comm.as_ref(), buf, Screen::None);
+            }
+            _ => self.comm.allreduce_sum(buf),
+        }
     }
 
     /// Global row count.
@@ -128,7 +165,8 @@ impl DistMultiVector {
     /// **1 global reduce** of `s²` words.
     pub fn gram(&self, cols: Range<usize>) -> Matrix {
         let mut g = dense::gram(&self.local.cols(cols));
-        self.comm.allreduce_sum(g.data_mut());
+        let s = g.nrows();
+        self.reduce(g.data_mut(), Screen::Gram { offset: 0, s });
         g
     }
 
@@ -155,7 +193,7 @@ impl DistMultiVector {
         let mut buf = Vec::with_capacity(k * s + s * s);
         buf.extend_from_slice(p_local.data());
         buf.extend_from_slice(g_local.data());
-        self.comm.allreduce_sum(&mut buf);
+        self.reduce(&mut buf, Screen::Gram { offset: k * s, s });
         let p = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
         let g = Matrix::from_col_major(s, s, buf[k * s..].to_vec());
         (p, g)
@@ -207,7 +245,7 @@ impl DistMultiVector {
         let mut buf = Vec::with_capacity(k * s + s * s);
         buf.extend_from_slice(c_local.data());
         buf.extend_from_slice(g_local.data());
-        self.comm.allreduce_sum(&mut buf);
+        self.reduce(&mut buf, Screen::Gram { offset: k * s, s });
         let c = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
         let g = Matrix::from_col_major(s, s, buf[k * s..].to_vec());
         (c, g)
@@ -225,10 +263,17 @@ impl DistMultiVector {
         dense::scal(alpha, self.local.col_mut(col));
     }
 
-    /// Global 2-norm of column `col`.  **1 global reduce** of one word.
+    /// Global 2-norm of column `col`.  **1 global reduce** of one word
+    /// (two words when guarded — the duplicated-word screen — but still a
+    /// single reduction).
     pub fn norm2(&self, col: usize) -> f64 {
         let c = self.local.col(col);
         let local = dense::dot(c, c);
+        if let Some(ctx) = &self.guard {
+            if ctx.policy().gram_screen || ctx.policy().agreement {
+                return ctx.norm_reduce(self.comm.as_ref(), local);
+            }
+        }
         self.comm.allreduce_sum_scalar(local).max(0.0).sqrt()
     }
 

@@ -41,6 +41,11 @@ impl Communicator for SerialComm {
         self.stats.record_allreduce(buf.len());
     }
 
+    fn allreduce_sum_retry(&self, buf: &mut [f64]) {
+        let _span = trace::span1("comm", "allreduce_retry", "words", buf.len() as u64);
+        self.stats.record_allreduce_retry(buf.len());
+    }
+
     fn broadcast(&self, root: usize, buf: &mut [f64]) {
         assert_eq!(root, 0, "serial communicator has only rank 0");
         let _span = trace::span1("comm", "broadcast", "words", buf.len() as u64);

@@ -30,6 +30,8 @@ pub struct CommStats {
     p2p_messages: AtomicUsize,
     p2p_words: AtomicUsize,
     barriers: AtomicUsize,
+    allreduce_retries: AtomicUsize,
+    allreduce_retry_words: AtomicUsize,
     /// Per-destination-rank `(messages, words)` tallies.
     p2p_peers: Mutex<BTreeMap<usize, (usize, usize)>>,
 }
@@ -74,6 +76,21 @@ impl CommStats {
         self.barriers.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one **retried** all-reduce of `words` `f64` words.
+    ///
+    /// Retries (a fault-recovery re-execution of a collective that already
+    /// happened) are tallied separately from [`record_allreduce`] so the
+    /// reduce-count audits the tests pin — "this kernel is one global
+    /// reduction" — stay exact even when the fault-tolerance layer had to
+    /// repeat an operation.
+    ///
+    /// [`record_allreduce`]: Self::record_allreduce
+    pub fn record_allreduce_retry(&self, words: usize) {
+        self.allreduce_retries.fetch_add(1, Ordering::Relaxed);
+        self.allreduce_retry_words
+            .fetch_add(words, Ordering::Relaxed);
+    }
+
     /// A consistent point-in-time copy of the counters.
     pub fn snapshot(&self) -> CommStatsSnapshot {
         let p2p_peers = {
@@ -97,6 +114,8 @@ impl CommStats {
             p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
             p2p_words: self.p2p_words.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            allreduce_retries: self.allreduce_retries.load(Ordering::Relaxed),
+            allreduce_retry_words: self.allreduce_retry_words.load(Ordering::Relaxed),
             p2p_peers,
         }
     }
@@ -135,6 +154,11 @@ pub struct CommStatsSnapshot {
     pub p2p_words: usize,
     /// Number of explicit barriers.
     pub barriers: usize,
+    /// Number of **retried** all-reduces (fault-recovery re-executions;
+    /// counted separately so `allreduces` stays the paper's audit count).
+    pub allreduce_retries: usize,
+    /// Total `f64` words all-reduced by retries.
+    pub allreduce_retry_words: usize,
     /// Per-destination `(messages, words)` tallies, sorted by peer rank.
     /// All-zero entries are dropped, so snapshots compare structurally.
     pub p2p_peers: Vec<PeerTally>,
@@ -186,6 +210,8 @@ impl CommStatsSnapshot {
             p2p_messages: self.p2p_messages - earlier.p2p_messages,
             p2p_words: self.p2p_words - earlier.p2p_words,
             barriers: self.barriers - earlier.barriers,
+            allreduce_retries: self.allreduce_retries - earlier.allreduce_retries,
+            allreduce_retry_words: self.allreduce_retry_words - earlier.allreduce_retry_words,
             p2p_peers: combine_peers(&self.p2p_peers, &earlier.p2p_peers, |now, before| {
                 PeerTally {
                     peer: now.peer,
@@ -208,6 +234,8 @@ impl CommStatsSnapshot {
             p2p_messages: self.p2p_messages + other.p2p_messages,
             p2p_words: self.p2p_words + other.p2p_words,
             barriers: self.barriers + other.barriers,
+            allreduce_retries: self.allreduce_retries + other.allreduce_retries,
+            allreduce_retry_words: self.allreduce_retry_words + other.allreduce_retry_words,
             p2p_peers: combine_peers(&self.p2p_peers, &other.p2p_peers, |a, b| PeerTally {
                 peer: a.peer,
                 messages: a.messages + b.messages,
@@ -244,6 +272,23 @@ mod tests {
         assert_eq!(d.barriers, 1);
         let m = a.merge(&d);
         assert_eq!(m, b);
+    }
+
+    #[test]
+    fn retries_do_not_inflate_the_reduce_audit() {
+        let stats = CommStats::new();
+        stats.record_allreduce(10);
+        stats.record_allreduce_retry(10);
+        stats.record_allreduce_retry(10);
+        let s = stats.snapshot();
+        assert_eq!(s.allreduces, 1, "retries must not count as reduces");
+        assert_eq!(s.allreduce_words, 10);
+        assert_eq!(s.allreduce_retries, 2);
+        assert_eq!(s.allreduce_retry_words, 20);
+        // since/merge are field-wise over the retry counters too.
+        let before = CommStatsSnapshot::default();
+        assert_eq!(s.since(&before), s);
+        assert_eq!(before.merge(&s), s);
     }
 
     #[test]

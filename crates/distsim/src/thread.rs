@@ -10,10 +10,11 @@
 //! per (sender, receiver) pair, which is exactly the ordering guarantee the
 //! halo exchange of [`DistCsr`](crate::DistCsr) needs.
 
-use crate::comm::Communicator;
+use crate::comm::{default_recv_timeout, CommError, Communicator};
 use crate::stats::CommStats;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Which collective a rank is participating in; used to assert that every
 /// rank of the group issues the same sequence of collectives.
@@ -154,14 +155,34 @@ impl Shared {
         mailbox.cvar.notify_all();
     }
 
-    fn take(&self, from: usize, me: usize) -> Vec<f64> {
+    /// Take the next message from `from`'s queue, waiting at most
+    /// `timeout`; `Err` carries the who/whom/how-long diagnosis.
+    fn take_timeout(
+        &self,
+        from: usize,
+        me: usize,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        let deadline = Instant::now() + timeout;
         let mailbox = &self.mailboxes[me];
         let mut queues = mailbox.queues.lock().expect("mailbox poisoned");
         loop {
             if let Some(msg) = queues[from].pop_front() {
-                return msg;
+                return Ok(msg);
             }
-            queues = mailbox.cvar.wait(queues).expect("mailbox poisoned");
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::RecvTimeout {
+                    rank: me,
+                    from,
+                    waited: timeout,
+                });
+            }
+            let (guard, _) = mailbox
+                .cvar
+                .wait_timeout(queues, deadline - now)
+                .expect("mailbox poisoned");
+            queues = guard;
         }
     }
 }
@@ -172,6 +193,10 @@ pub struct ThreadComm {
     rank: usize,
     shared: Arc<Shared>,
     stats: CommStats,
+    /// Patience of a plain `recv` (from `DISTSIM_RECV_TIMEOUT_MS`, read
+    /// once at construction); a stalled peer surfaces as a diagnosable
+    /// panic instead of a hung run.
+    recv_timeout: Duration,
 }
 
 impl ThreadComm {
@@ -180,6 +205,7 @@ impl ThreadComm {
             rank,
             shared,
             stats: CommStats::new(),
+            recv_timeout: default_recv_timeout(),
         }
     }
 }
@@ -196,6 +222,14 @@ impl Communicator for ThreadComm {
     fn allreduce_sum(&self, buf: &mut [f64]) {
         let _span = trace::span1("comm", "allreduce", "words", buf.len() as u64);
         self.stats.record_allreduce(buf.len());
+        let contribution = buf.to_vec();
+        self.shared
+            .collective(self.rank, CollKind::AllreduceSum, &contribution, buf);
+    }
+
+    fn allreduce_sum_retry(&self, buf: &mut [f64]) {
+        let _span = trace::span1("comm", "allreduce_retry", "words", buf.len() as u64);
+        self.stats.record_allreduce_retry(buf.len());
         let contribution = buf.to_vec();
         self.shared
             .collective(self.rank, CollKind::AllreduceSum, &contribution, buf);
@@ -245,10 +279,17 @@ impl Communicator for ThreadComm {
     }
 
     fn recv(&self, from: usize) -> Vec<f64> {
+        match self.recv_timeout(from, self.recv_timeout) {
+            Ok(msg) => msg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Vec<f64>, CommError> {
         assert!(from < self.size(), "recv: rank {from} out of range");
         assert_ne!(from, self.rank, "recv: cannot message self");
         let _span = trace::span1("comm", "recv", "peer", from as u64);
-        self.shared.take(from, self.rank)
+        self.shared.take_timeout(from, self.rank, timeout)
     }
 
     fn stats(&self) -> &CommStats {
@@ -407,6 +448,60 @@ mod tests {
             assert_eq!(s.allreduces, 1);
             assert_eq!(s.barriers, 1);
             assert_eq!(s.p2p_messages, usize::from(rank == 0));
+        }
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_a_stall_as_a_diagnosable_error() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 1 {
+                // Rank 0 never sends: the bounded receive must give up and
+                // say who was waiting on whom.
+                let err = comm
+                    .recv_timeout(0, Duration::from_millis(50))
+                    .expect_err("no message is coming");
+                let msg = err.to_string();
+                assert!(msg.contains("rank 1"), "missing waiter context: {msg}");
+                assert!(msg.contains("from rank 0"), "missing peer context: {msg}");
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(results, vec![false, true]);
+    }
+
+    #[test]
+    fn recv_timeout_returns_a_message_that_arrives_in_time() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                comm.send(1, &[7.5]);
+                Vec::new()
+            } else {
+                comm.recv_timeout(0, Duration::from_secs(5))
+                    .expect("message arrives well within the bound")
+            }
+        });
+        assert_eq!(results[1], vec![7.5]);
+    }
+
+    #[test]
+    fn allreduce_retry_counts_separately_and_still_reduces() {
+        let results = run_ranks(3, |comm| {
+            let mut buf = [comm.rank() as f64 + 1.0];
+            comm.allreduce_sum(&mut buf);
+            let first = buf[0];
+            let mut again = [comm.rank() as f64 + 1.0];
+            comm.allreduce_sum_retry(&mut again);
+            (first, again[0], comm.stats().snapshot())
+        });
+        for (first, retried, s) in &results {
+            assert_eq!(*first, 6.0);
+            assert_eq!(*retried, 6.0, "a retry is a real re-execution");
+            assert_eq!(s.allreduces, 1, "the audit count must not inflate");
+            assert_eq!(s.allreduce_retries, 1);
+            assert_eq!(s.allreduce_retry_words, 1);
         }
     }
 
