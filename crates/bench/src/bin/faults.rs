@@ -16,13 +16,14 @@
 //!   detects it (bitwise-symmetry screen), retries the reduce from the
 //!   saved clean contributions, and converges **bit-for-bit identical** to
 //!   the fault-free solve: zero iteration overhead.
-//! * **sdc-norm** — the same single-bit SDC aimed at the cycle-1
-//!   residual-norm reduce (the 1×1 Gram of the residual).  The unguarded
-//!   solver *silently returns a wrong answer*: the corrupted norm collapses
-//!   below the tolerance, the solve reports `converged` with no breakdown,
-//!   and the true residual is orders of magnitude above the target.  The
-//!   duplicated-word guard catches the disagreeing halves, retries, and
-//!   converges for real.
+//! * **sdc-norm** — the same single-bit SDC aimed at the *initial*
+//!   residual-norm reduce (the 1×1 Gram of r₀).  The corrupted reference
+//!   norm collapses by ~2⁻⁵¹², silently rescaling both the relative
+//!   convergence target and the first basis vector; the unguarded solver
+//!   *returns a wrong answer while reporting success* — `converged`, final
+//!   relres under the tolerance, true residual ~150 orders of magnitude
+//!   above it.  The duplicated-word guard catches the disagreeing halves,
+//!   retries, and converges for real.
 //!
 //! On top: guard overhead at zero faults (noise-floor minimum over
 //! interleaved repeated solves, asserted `< 5%`), a seeded
@@ -329,24 +330,29 @@ fn main() {
             gram_un_relres
         );
 
-        // Cell B — sdc-norm: clear exponent bit 58 of every rank's
-        // contribution to the cycle-1 residual-norm reduce (the 1×1 Gram
-        // of the residual).  The squared norm collapses by 2⁻⁶⁴ and the
-        // unguarded solver silently reports convergence on a wrong answer.
+        // Cell B — sdc-norm: clear the top exponent bit (62) of every
+        // rank's contribution to the *initial* residual-norm reduce (the
+        // 1×1 Gram of r₀).  Each squared partial collapses by 2⁻¹⁰²⁴, so
+        // the reference norm ‖r₀‖ — which both sets the relative
+        // convergence target and scales the first basis vector — shrinks
+        // by ~2⁻⁵¹².  The unguarded solve runs on into overflow territory
+        // yet every *reported* diagnostic stays believable: `converged`,
+        // final relres just under the tolerance — while the returned
+        // answer is wrong by ~150 orders of magnitude.
         let plan_norm = FaultPlan::none().with(
-            Target::nth(OpKind::Allreduce, 1).in_phase("residual"),
+            Target::nth(OpKind::Allreduce, 0).in_phase("residual"),
             FaultKind::BitFlip {
                 word: Some(0),
-                bit: 58,
+                bit: 62,
             },
         );
         let norm_un = run_cell(&a, &b, &unguarded, &part, Some(&plan_norm));
         let norm_un_relres = true_relres(&a, &b, &norm_un.x);
         // Silence: the solver *reports* success — converged, with a final
-        // residual far below the tolerance — while the answer is wrong by
-        // orders of magnitude.  (Unguarded, there is no fault diagnostic
-        // of any kind; the breakdown record only ever mentions the usual
-        // numerical rescue of the rank-deficient s = 8 panels.)
+        // relative residual just under the tolerance — while the answer is
+        // wrong by orders of magnitude.  (Unguarded, there is no fault
+        // diagnostic of any kind; the breakdown record only ever mentions
+        // the usual numerical rescue of the rank-deficient s = 8 panels.)
         assert!(
             norm_un.converged_all,
             "sdc-norm: the unguarded solver must *believe* it converged"

@@ -11,8 +11,18 @@
 //!
 //! Reported per row: wall seconds (best of repetitions), GF/s against the
 //! kernel's flop model, the minimum bytes the kernel must move, the thread
-//! count, and (for single-thread blocked rows) the speedup over the naive
-//! reference.  `TWOSTAGE_NUM_THREADS` is overridden internally per row.
+//! count, and a speedup column: single-thread blocked rows are measured
+//! against the naive reference, multi-thread blocked rows against the
+//! 1-thread blocked time of the same kernel and shape (the multithread
+//! scaling signature), and fused rows against the separate blocked sweeps.
+//! `TWOSTAGE_NUM_THREADS` is overridden internally per row.
+//!
+//! With `BENCH_SCALING_CHECK=1` the binary exits non-zero if the fused
+//! pass is slower than the separate sweeps at any thread count, or — on
+//! machines with ≥ 2 hardware threads — if the widest-thread blocked
+//! `gram`/`gemm_tn` rows fail to beat their 1-thread times.  On a single
+//! hardware thread real scaling is impossible, so the check instead bounds
+//! pool dispatch overhead.
 
 use dense::Matrix;
 use ssgmres::{GmresConfig, OrthoKind, SStepGmres};
@@ -183,12 +193,21 @@ fn bench_shape(rows: &mut Vec<Row>, n: usize, s: usize, reps: usize, thread_coun
         None,
     );
 
+    // 1-thread blocked times, recorded on the first (t == 1) pass and used
+    // as the baseline for the multithread scaling rows.
+    let mut base_gram_s = f64::NAN;
+    let mut base_tn_s = f64::NAN;
+    let mut base_upd_s = f64::NAN;
+    let mut base_trsm_s = f64::NAN;
     for &t in thread_counts {
         parkit::set_num_threads(t);
         let single = t == 1;
         let blocked_gram_s = time_best(reps, || {
             std::hint::black_box(dense::gram(&v.view()));
         });
+        if single {
+            base_gram_s = blocked_gram_s;
+        }
         push(
             rows,
             "gram",
@@ -200,11 +219,18 @@ fn bench_shape(rows: &mut Vec<Row>, n: usize, s: usize, reps: usize, thread_coun
             blocked_gram_s,
             gram_flops,
             gram_bytes,
-            single.then_some(("naive", naive_gram_s)),
+            if single {
+                Some(("naive", naive_gram_s))
+            } else {
+                Some(("blocked_1thread", base_gram_s))
+            },
         );
         let blocked_tn_s = time_best(reps, || {
             std::hint::black_box(dense::gemm_tn(&q.view(), &v.view()));
         });
+        if single {
+            base_tn_s = blocked_tn_s;
+        }
         push(
             rows,
             "gemm_tn",
@@ -216,13 +242,20 @@ fn bench_shape(rows: &mut Vec<Row>, n: usize, s: usize, reps: usize, thread_coun
             blocked_tn_s,
             tn_flops,
             tn_bytes,
-            single.then_some(("naive", naive_tn_s)),
+            if single {
+                Some(("naive", naive_tn_s))
+            } else {
+                Some(("blocked_1thread", base_tn_s))
+            },
         );
         let blocked_upd_s = time_best(reps, || {
             let mut w = v.clone();
             dense::gemm_nn_minus(&mut w.view_mut(), &q.view(), &p);
             std::hint::black_box(&w);
         });
+        if single {
+            base_upd_s = blocked_upd_s;
+        }
         push(
             rows,
             "gemm_nn_minus",
@@ -234,13 +267,20 @@ fn bench_shape(rows: &mut Vec<Row>, n: usize, s: usize, reps: usize, thread_coun
             blocked_upd_s,
             upd_flops,
             upd_bytes,
-            single.then_some(("naive", naive_upd_s)),
+            if single {
+                Some(("naive", naive_upd_s))
+            } else {
+                Some(("blocked_1thread", base_upd_s))
+            },
         );
         let blocked_trsm_s = time_best(reps, || {
             let mut w = v.clone();
             dense::trsm_right_upper(&mut w.view_mut(), &r);
             std::hint::black_box(&w);
         });
+        if single {
+            base_trsm_s = blocked_trsm_s;
+        }
         push(
             rows,
             "trsm_right_upper",
@@ -252,7 +292,11 @@ fn bench_shape(rows: &mut Vec<Row>, n: usize, s: usize, reps: usize, thread_coun
             blocked_trsm_s,
             trsm_flops,
             trsm_bytes,
-            single.then_some(("naive", naive_trsm_s)),
+            if single {
+                Some(("naive", naive_trsm_s))
+            } else {
+                Some(("blocked_1thread", base_trsm_s))
+            },
         );
         // Fused update + [Q W]ᵀW pass vs. the three separate sweeps.
         let fused_s = time_best(reps, || {
@@ -329,6 +373,83 @@ fn bench_gmres_iteration(rows: &mut Vec<Row>, quick: bool, thread_counts: &[usiz
     parkit::set_num_threads(0);
 }
 
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// `BENCH_SCALING_CHECK=1`: assert the two fixed bug signatures stay fixed.
+///
+/// * The fused pass must not be slower than the separate blocked sweeps
+///   (`speedup >= 1.0`) at every thread count that fits the hardware.
+///   Rows with more software threads than hardware threads measure pool
+///   mechanics under oversubscription, where scheduler jitter dominates
+///   both sides of the ratio; they are reported but not checked.
+/// * On ≥ 2 hardware threads, the widest-thread blocked `gram` and
+///   `gemm_tn` rows must beat their 1-thread blocked baselines
+///   (`speedup > 1.0`).  On one hardware thread scaling is physically
+///   impossible, so instead pool dispatch overhead must stay bounded
+///   (multithread time ≤ 2.5× the 1-thread time).
+fn scaling_check(rows: &[Row]) -> Result<(), String> {
+    let hw = hardware_threads();
+    for r in rows {
+        if r.kernel == "fused_update_proj_gram" && r.threads <= hw {
+            let sp = r.speedup.unwrap_or(f64::NAN);
+            if sp.is_nan() || sp < 1.0 {
+                return Err(format!(
+                    "fused_update_proj_gram at n={} s={} threads={} is slower than the \
+                     separate sweeps: speedup {sp:.3} < 1.0 (hardware_threads={hw})",
+                    r.n, r.s, r.threads
+                ));
+            }
+        }
+    }
+    let multicore = hw >= 2;
+    // Judge scaling at the widest thread count the hardware can actually
+    // run in parallel; on one core fall back to the widest measured row
+    // and only bound its overhead.
+    let check_t = rows
+        .iter()
+        .filter(|r| r.variant == "blocked" && (!multicore || r.threads <= hw))
+        .map(|r| r.threads)
+        .max()
+        .unwrap_or(1);
+    if check_t < 2 {
+        return Ok(());
+    }
+    for r in rows {
+        if r.variant != "blocked"
+            || r.threads != check_t
+            || r.baseline != Some("blocked_1thread")
+            || !matches!(r.kernel, "gram" | "gemm_tn")
+        {
+            continue;
+        }
+        let sp = r.speedup.unwrap_or(f64::NAN);
+        if multicore {
+            if sp.is_nan() || sp <= 1.0 {
+                return Err(format!(
+                    "{} at n={} s={} does not scale: {}-thread speedup {sp:.3} ≤ 1.0 \
+                     vs 1-thread blocked (hardware_threads={hw})",
+                    r.kernel, r.n, r.s, r.threads
+                ));
+            }
+        } else if sp.is_nan() || sp < 1.0 / 2.5 {
+            return Err(format!(
+                "{} at n={} s={}: pool dispatch overhead out of bounds on a single \
+                 hardware thread: {}-thread time is {:.2}× the 1-thread time (limit 2.5×)",
+                r.kernel,
+                r.n,
+                r.s,
+                r.threads,
+                1.0 / sp
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn json_escape_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.9}")
@@ -343,6 +464,8 @@ fn write_json(rows: &[Row], quick: bool) -> String {
     let _ = writeln!(out, "  \"bench\": \"kernels\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"pool_lanes\": {},", parkit::pool_lanes());
+    let _ = writeln!(out, "  \"hardware_threads\": {},", hardware_threads());
+    let _ = writeln!(out, "  \"simd\": \"{}\",", dense::simd_label());
     let _ = writeln!(out, "  \"tile\": {},", dense::TILE);
     let _ = writeln!(out, "  \"row_block\": {},", dense::ROW_BLOCK);
     out.push_str("  \"results\": [\n");
@@ -455,6 +578,23 @@ fn main() {
     };
     if let (Some(g), Some(tn)) = (headline("gram"), headline("gemm_tn")) {
         println!("\nheadline single-thread speedups on 200000x8: gram {g:.2}x, gemm_tn {tn:.2}x");
+    }
+    if matches!(
+        std::env::var("BENCH_SCALING_CHECK").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    ) {
+        match scaling_check(&rows) {
+            Ok(()) => eprintln!(
+                "scaling check passed (hardware_threads={}, simd={})",
+                hardware_threads(),
+                dense::simd_label()
+            ),
+            Err(msg) => {
+                eprintln!("scaling check FAILED: {msg}");
+                bench::cli::finish_tracing(&trace_out);
+                std::process::exit(1);
+            }
+        }
     }
     bench::cli::finish_tracing(&trace_out);
 }

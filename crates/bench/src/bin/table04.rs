@@ -6,6 +6,12 @@
 //! verify convergence and compare iteration counts across variants; part 2
 //! prints the modeled per-iteration times at the paper's problem sizes with
 //! the speedup annotations of the paper's table.
+//!
+//! With `--matrix <path.mtx>` the whole surrogate set is replaced by the
+//! real operator from the file: part 1 solves it directly and part 2 models
+//! the per-iteration times from its actual size and density.
+//! `--partition block|nnz` selects the row split reported for the
+//! distributed runs.
 
 use bench::{print_table, scale, speedup, Scale};
 use perfmodel::{solver_time, MachineModel, ProblemSpec, SchemeKind};
@@ -16,14 +22,30 @@ use sparse::{
 use ssgmres::{standard_gmres_config, GmresConfig, OrthoKind, SStepGmres};
 
 struct Workload {
-    name: &'static str,
+    name: String,
     description: &'static str,
     n_paper: usize,
     nnz_per_row: f64,
     small: Csr,
 }
 
-fn workloads() -> Vec<Workload> {
+fn workloads(args: &bench::cli::MatrixArgs) -> Vec<Workload> {
+    // A real Matrix Market operator replaces the whole surrogate set: its
+    // actual size and density drive both the measured solves and the model.
+    if let Some(path) = &args.matrix {
+        let (name, a) = bench::cli::load_matrix_streamed(path).unwrap_or_else(|e| {
+            eprintln!("table04: {e}");
+            std::process::exit(2);
+        });
+        let nnz_per_row = a.nnz() as f64 / a.nrows().max(1) as f64;
+        return vec![Workload {
+            name,
+            description: "Matrix Market file",
+            n_paper: a.nrows(),
+            nnz_per_row,
+            small: a,
+        }];
+    }
     let small_grid = match scale() {
         Scale::Paper => 40usize,
         Scale::Small => 14usize,
@@ -34,14 +56,14 @@ fn workloads() -> Vec<Workload> {
     };
     let mut out = vec![
         Workload {
-            name: "Laplace3D",
+            name: "Laplace3D".into(),
             description: "Structured 3D model, SPD",
             n_paper: 100usize.pow(3),
             nnz_per_row: 6.9,
             small: laplace3d_7pt(small_grid, small_grid, small_grid),
         },
         Workload {
-            name: "Elasticity3D",
+            name: "Elasticity3D".into(),
             description: "Structured 3D model, SPD",
             n_paper: 3 * 100usize.pow(3),
             nnz_per_row: 5.7,
@@ -59,7 +81,7 @@ fn workloads() -> Vec<Workload> {
         let raw = suitesparse_surrogate(spec, Some(small_n), 5);
         let (scaled, _, _) = scale_rows_cols_by_max(&raw);
         out.push(Workload {
-            name: spec.name,
+            name: spec.name.to_string(),
             description: spec.description,
             n_paper: spec.n,
             nnz_per_row: spec.nnz_per_row,
@@ -70,15 +92,17 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn main() {
-    let trace_out = match bench::cli::parse_trace_arg(std::env::args().skip(1)) {
-        Ok(t) => t,
+    let args = match bench::cli::parse_matrix_args(std::env::args().skip(1)) {
+        Ok(args) => args,
         Err(e) => {
             eprintln!("table04: {e}");
-            eprintln!("usage: table04 [--trace out.json]");
+            eprintln!(
+                "usage: table04 [--matrix <path.mtx>] [--partition block|nnz] [--trace out.json]"
+            );
             std::process::exit(2);
         }
     };
-    bench::cli::start_tracing(&trace_out);
+    bench::cli::start_tracing(&args.trace);
     let s = 5;
     let m = 60;
     let machine = MachineModel::summit_node();
@@ -100,8 +124,10 @@ fn main() {
 
     // --- Part 1: real (scaled-down) solves. ---
     let mut measured = Vec::new();
-    for w in workloads() {
+    for w in workloads(&args) {
         let b = w.small.spmv_alloc(&vec![1.0; w.small.nrows()]);
+        let m = m.min(w.small.nrows());
+        let s = s.min(m);
         for (label, _, ortho) in &variants {
             let config = match ortho {
                 None => GmresConfig {
@@ -110,14 +136,24 @@ fn main() {
                     max_iters: 30_000,
                     ..standard_gmres_config()
                 },
-                Some(kind) => GmresConfig {
-                    restart: m,
-                    step_size: s,
-                    tol: 1e-6,
-                    max_iters: 30_000,
-                    ortho: *kind,
-                    ..GmresConfig::default()
-                },
+                Some(kind) => {
+                    // Clamp the second-stage panel to the restart length so
+                    // tiny --matrix operators stay valid configurations.
+                    let kind = match *kind {
+                        OrthoKind::TwoStage { big_panel } => OrthoKind::TwoStage {
+                            big_panel: big_panel.min(m),
+                        },
+                        other => other,
+                    };
+                    GmresConfig {
+                        restart: m,
+                        step_size: s,
+                        tol: 1e-6,
+                        max_iters: 30_000,
+                        ortho: kind,
+                        ..GmresConfig::default()
+                    }
+                }
             };
             let (_, result) = SStepGmres::new(config).solve_serial(&w.small, &b);
             measured.push(vec![
@@ -135,7 +171,11 @@ fn main() {
         }
     }
     print_table(
-        "Table IV (part 1): measured solves on scaled-down surrogates",
+        if args.matrix.is_some() {
+            "Table IV (part 1): measured solves on the Matrix Market operator"
+        } else {
+            "Table IV (part 1): measured solves on scaled-down surrogates"
+        },
         &[
             "matrix",
             "n (small)",
@@ -146,11 +186,25 @@ fn main() {
         ],
         &measured,
     );
+    if args.matrix.is_some() {
+        // How the distributed runs would split the real operator's rows
+        // under the chosen partition strategy.
+        for w in workloads(&args) {
+            let part = bench::cli::partition_rows(&w.small, args.partition, 4.min(w.small.nrows()));
+            println!(
+                "\npartition {} over {} ranks: per-rank nnz {:?}, imbalance {:.2}",
+                args.partition.label(),
+                part.nranks(),
+                bench::cli::per_rank_nnz(&w.small, &part),
+                bench::cli::partition_imbalance(&w.small, &part)
+            );
+        }
+    }
 
     // --- Part 2: modeled time per iteration at the paper's sizes. ---
     let mut rows = Vec::new();
-    for w in workloads() {
-        let problem = ProblemSpec::from_density(w.name, w.n_paper, w.nnz_per_row, nranks);
+    for w in workloads(&args) {
+        let problem = ProblemSpec::from_density(&w.name, w.n_paper, w.nnz_per_row, nranks);
         // Per-iteration times do not depend on the iteration count; use one
         // restart cycle worth of iterations.
         let iters = m;
@@ -191,5 +245,5 @@ fn main() {
          speedups of ~1.3-1.8x, ~1.8-2.5x and ~2.2-2.9x; denser matrices (dielFilterV2real,\n\
          ML_Geer) spend relatively more time in SpMV, so their total speedups are at the lower end."
     );
-    bench::cli::finish_tracing(&trace_out);
+    bench::cli::finish_tracing(&args.trace);
 }

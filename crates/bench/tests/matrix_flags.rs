@@ -189,12 +189,57 @@ fn table02_accepts_matrix_partition_and_trace_flags() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Table-printing binaries: drive with `--matrix`/`--partition` and check
+/// the stdout report instead of a JSON artifact.
+fn run_table_binary(exe: &str, tag: &str) {
+    let dir = scratch(tag);
+    let output = Command::new(exe)
+        .args([
+            "--matrix",
+            fixture().to_str().unwrap(),
+            "--partition",
+            "nnz",
+        ])
+        .env("BENCH_QUICK", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("binary must launch");
+    assert!(
+        output.status.success(),
+        "{tag} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("laplace_6x6"),
+        "{tag} must run the provided matrix:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("partition nnz"),
+        "{tag} must report the chosen partition:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn table03_accepts_matrix_and_partition_flags() {
+    run_table_binary(env!("CARGO_BIN_EXE_table03"), "table03");
+}
+
+#[test]
+fn table04_accepts_matrix_and_partition_flags() {
+    run_table_binary(env!("CARGO_BIN_EXE_table04"), "table04");
+}
+
 #[test]
 fn binaries_reject_bad_flags() {
     for exe in [
         env!("CARGO_BIN_EXE_basis_compare"),
         env!("CARGO_BIN_EXE_robustness"),
         env!("CARGO_BIN_EXE_table02"),
+        env!("CARGO_BIN_EXE_table03"),
+        env!("CARGO_BIN_EXE_table04"),
         env!("CARGO_BIN_EXE_faults"),
         env!("CARGO_BIN_EXE_fig13"),
     ] {

@@ -15,22 +15,33 @@
 //!
 //! All kernels stream the tall `n×s` operands in **row panels** of
 //! [`ROW_BLOCK`] rows, and within a row panel compute **register tiles** of
-//! [`TILE`]×[`TILE`] output entries with scalar accumulators.  A row panel
-//! (`ROW_BLOCK × s` doubles) fits in L1/L2, so every tile of the small
-//! output consumes it from cache and each tall operand is read from memory
-//! once per kernel call — versus once per *column pair* for the naive
-//! dot-product formulation (retained as [`naive_gram`] etc. for benchmarks
-//! and property tests).  The 16 independent accumulators of a full tile
-//! also break the single-accumulator dependence chain that made the naive
-//! loops latency-bound.
+//! [`TILE`]×[`TILE`] output entries.  A row panel (`ROW_BLOCK × s` doubles)
+//! fits in L1/L2, so every tile of the small output consumes it from cache
+//! and each tall operand is read from memory once per kernel call — versus
+//! once per *column pair* for the naive dot-product formulation (retained
+//! as [`naive_gram`] etc. for benchmarks and property tests).
 //!
-//! Parallelization is over contiguous row ranges via `parkit`; the small
-//! `s×s`/`k×s` partial results are reduced deterministically in chunk order
-//! (one code path: [`parkit::parallel_reduce_ranges`]), so repeated runs
-//! give bitwise-identical results for a given thread count.
+//! The tile inner loops live in [`crate::simd`] and are explicit
+//! `std::arch` AVX2+FMA kernels with a portable scalar fallback, selected
+//! once at runtime.  Accumulation kernels ([`gram`], [`gemm_tn`], the
+//! projection half of [`fused_update_proj_gram`]) may use FMA and vector
+//! lane accumulators — they are pinned to the oracles within `1e-10·n` —
+//! while the element-update kernels ([`gemm_nn_minus`],
+//! [`trsm_right_upper`], the update half of the fused kernel) perform the
+//! exact scalar operation sequence per element and stay **bitwise
+//! identical** to the naive sweeps on every backend.
+//!
+//! Parallelization is over contiguous row ranges via `parkit`, with chunk
+//! sizes derived from the bytes each row traverses
+//! ([`parkit::num_threads_for_bytes`] — cache geometry, not lane count);
+//! the small `s×s`/`k×s` partial results are reduced deterministically in
+//! chunk order (one code path: [`parkit::parallel_reduce_ranges_bytes`]),
+//! so repeated runs give bitwise-identical results for a given thread
+//! count.
 
 use crate::matrix::{MatView, MatViewMut, Matrix};
-use parkit::{parallel_for_range, parallel_reduce_ranges};
+use crate::simd;
+use parkit::{parallel_for_range_bytes, parallel_reduce_ranges_bytes};
 
 /// Register-tile width: each inner loop produces a `TILE×TILE` block of the
 /// output in scalar accumulators.
@@ -164,49 +175,24 @@ fn tn_tile<A: ColSource, B: ColSource>(
     oi0: usize,
     oj0: usize,
 ) {
-    let len = r1 - r0;
     if iw == TILE && jw == TILE {
-        let a0 = a.seg(i0, r0, r1);
-        let a1 = a.seg(i0 + 1, r0, r1);
-        let a2 = a.seg(i0 + 2, r0, r1);
-        let a3 = a.seg(i0 + 3, r0, r1);
-        let b0 = b.seg(j0, r0, r1);
-        let b1 = b.seg(j0 + 1, r0, r1);
-        let b2 = b.seg(j0 + 2, r0, r1);
-        let b3 = b.seg(j0 + 3, r0, r1);
-        let (mut c00, mut c10, mut c20, mut c30) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let (mut c01, mut c11, mut c21, mut c31) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let (mut c02, mut c12, mut c22, mut c32) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let (mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for r in 0..len {
-            let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
-            let (y0, y1, y2, y3) = (b0[r], b1[r], b2[r], b3[r]);
-            c00 += x0 * y0;
-            c10 += x1 * y0;
-            c20 += x2 * y0;
-            c30 += x3 * y0;
-            c01 += x0 * y1;
-            c11 += x1 * y1;
-            c21 += x2 * y1;
-            c31 += x3 * y1;
-            c02 += x0 * y2;
-            c12 += x1 * y2;
-            c22 += x2 * y2;
-            c32 += x3 * y2;
-            c03 += x0 * y3;
-            c13 += x1 * y3;
-            c23 += x2 * y3;
-            c33 += x3 * y3;
-        }
-        let tile = [
-            [c00, c10, c20, c30],
-            [c01, c11, c21, c31],
-            [c02, c12, c22, c32],
-            [c03, c13, c23, c33],
+        let a_segs = [
+            a.seg(i0, r0, r1),
+            a.seg(i0 + 1, r0, r1),
+            a.seg(i0 + 2, r0, r1),
+            a.seg(i0 + 3, r0, r1),
         ];
-        for (jj, col) in tile.iter().enumerate() {
-            for (ii, &v) in col.iter().enumerate() {
-                out[(oj0 + jj) * lda_out + oi0 + ii] += v;
+        let b_segs = [
+            b.seg(j0, r0, r1),
+            b.seg(j0 + 1, r0, r1),
+            b.seg(j0 + 2, r0, r1),
+            b.seg(j0 + 3, r0, r1),
+        ];
+        let mut tile = [0.0f64; TILE * TILE];
+        simd::tn_tile4x4(&a_segs, &b_segs, &mut tile);
+        for jj in 0..TILE {
+            for ii in 0..TILE {
+                out[(oj0 + jj) * lda_out + oi0 + ii] += tile[jj * TILE + ii];
             }
         }
     } else {
@@ -214,17 +200,7 @@ fn tn_tile<A: ColSource, B: ColSource>(
             let bj = b.seg(j0 + jj, r0, r1);
             for ii in 0..iw {
                 let ai = a.seg(i0 + ii, r0, r1);
-                let (mut s0, mut s1) = (0.0f64, 0.0f64);
-                let mut r = 0;
-                while r + 1 < len {
-                    s0 += ai[r] * bj[r];
-                    s1 += ai[r + 1] * bj[r + 1];
-                    r += 2;
-                }
-                if r < len {
-                    s0 += ai[r] * bj[r];
-                }
-                out[(oj0 + jj) * lda_out + oi0 + ii] += s0 + s1;
+                out[(oj0 + jj) * lda_out + oi0 + ii] += simd::dot(ai, bj);
             }
         }
     }
@@ -237,36 +213,24 @@ fn tn_tile<A: ColSource, B: ColSource>(
 /// tile's flops).
 #[inline]
 fn sym_tile4<A: ColSource>(a: A, r0: usize, r1: usize, j0: usize, out: &mut [f64], lda: usize) {
-    let len = r1 - r0;
-    let a0 = a.seg(j0, r0, r1);
-    let a1 = a.seg(j0 + 1, r0, r1);
-    let a2 = a.seg(j0 + 2, r0, r1);
-    let a3 = a.seg(j0 + 3, r0, r1);
-    let (mut c00, mut c01, mut c11, mut c02, mut c12) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
-    let (mut c22, mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
-    for r in 0..len {
-        let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
-        c00 += x0 * x0;
-        c01 += x0 * x1;
-        c11 += x1 * x1;
-        c02 += x0 * x2;
-        c12 += x1 * x2;
-        c22 += x2 * x2;
-        c03 += x0 * x3;
-        c13 += x1 * x3;
-        c23 += x2 * x3;
-        c33 += x3 * x3;
-    }
-    out[j0 * lda + j0] += c00;
-    out[(j0 + 1) * lda + j0] += c01;
-    out[(j0 + 1) * lda + j0 + 1] += c11;
-    out[(j0 + 2) * lda + j0] += c02;
-    out[(j0 + 2) * lda + j0 + 1] += c12;
-    out[(j0 + 2) * lda + j0 + 2] += c22;
-    out[(j0 + 3) * lda + j0] += c03;
-    out[(j0 + 3) * lda + j0 + 1] += c13;
-    out[(j0 + 3) * lda + j0 + 2] += c23;
-    out[(j0 + 3) * lda + j0 + 3] += c33;
+    let segs = [
+        a.seg(j0, r0, r1),
+        a.seg(j0 + 1, r0, r1),
+        a.seg(j0 + 2, r0, r1),
+        a.seg(j0 + 3, r0, r1),
+    ];
+    let mut tri = [0.0f64; 10];
+    simd::sym_tile4(&segs, &mut tri);
+    out[j0 * lda + j0] += tri[0];
+    out[(j0 + 1) * lda + j0] += tri[1];
+    out[(j0 + 1) * lda + j0 + 1] += tri[2];
+    out[(j0 + 2) * lda + j0] += tri[3];
+    out[(j0 + 2) * lda + j0 + 1] += tri[4];
+    out[(j0 + 2) * lda + j0 + 2] += tri[5];
+    out[(j0 + 3) * lda + j0] += tri[6];
+    out[(j0 + 3) * lda + j0 + 1] += tri[7];
+    out[(j0 + 3) * lda + j0 + 2] += tri[8];
+    out[(j0 + 3) * lda + j0 + 3] += tri[9];
 }
 
 /// Accumulate `out += A[rows, :ka]ᵀ · B[rows, :kb]` for one row block,
@@ -330,8 +294,9 @@ pub fn gram(v: &MatView<'_>) -> Matrix {
         return Matrix::zeros(0, 0);
     }
     let data = v.data();
-    let partial = parallel_reduce_ranges(
+    let partial = parallel_reduce_ranges_bytes(
         n,
+        8 * s,
         vec![0.0f64; s * s],
         |start, end| {
             let cols = SliceCols { data, n };
@@ -378,8 +343,9 @@ pub fn gemm_tn(a: &MatView<'_>, b: &MatView<'_>) -> Matrix {
     }
     let adata = a.data();
     let bdata = b.data();
-    let partial = parallel_reduce_ranges(
+    let partial = parallel_reduce_ranges_bytes(
         n,
+        8 * (k + s),
         vec![0.0f64; k * s],
         |start, end| {
             let a_cols = SliceCols { data: adata, n };
@@ -433,9 +399,7 @@ unsafe fn update_cols_generic(
             let alpha = r[(kk, jb + jj)];
             if alpha != 0.0 {
                 let qk = &qdata[kk * n + r0..kk * n + r1];
-                for (o, q) in vj.iter_mut().zip(qk) {
-                    *o -= alpha * q;
-                }
+                simd::axpy_minus(alpha, qk, vj);
             }
         }
     }
@@ -451,7 +415,6 @@ unsafe fn update_row_block(
 ) {
     let k = r.nrows();
     let s = r.ncols();
-    let len = r1 - r0;
     let mut jb = 0;
     while jb < s {
         let jw = TILE.min(s - jb);
@@ -467,67 +430,21 @@ unsafe fn update_row_block(
                 let tile_ok = kw == TILE
                     && (0..TILE).all(|jj| (0..TILE).all(|kk| r[(kb + kk, jb + jj)] != 0.0));
                 if tile_ok {
-                    let v0 = vcols.col_seg_mut(n, jb, r0, r1);
-                    let v1 = vcols.col_seg_mut(n, jb + 1, r0, r1);
-                    let v2 = vcols.col_seg_mut(n, jb + 2, r0, r1);
-                    let v3 = vcols.col_seg_mut(n, jb + 3, r0, r1);
-                    let q0 = &qdata[kb * n + r0..kb * n + r1];
-                    let q1 = &qdata[(kb + 1) * n + r0..(kb + 1) * n + r1];
-                    let q2 = &qdata[(kb + 2) * n + r0..(kb + 2) * n + r1];
-                    let q3 = &qdata[(kb + 3) * n + r0..(kb + 3) * n + r1];
-                    let c = [
-                        [
-                            r[(kb, jb)],
-                            r[(kb + 1, jb)],
-                            r[(kb + 2, jb)],
-                            r[(kb + 3, jb)],
-                        ],
-                        [
-                            r[(kb, jb + 1)],
-                            r[(kb + 1, jb + 1)],
-                            r[(kb + 2, jb + 1)],
-                            r[(kb + 3, jb + 1)],
-                        ],
-                        [
-                            r[(kb, jb + 2)],
-                            r[(kb + 1, jb + 2)],
-                            r[(kb + 2, jb + 2)],
-                            r[(kb + 3, jb + 2)],
-                        ],
-                        [
-                            r[(kb, jb + 3)],
-                            r[(kb + 1, jb + 3)],
-                            r[(kb + 2, jb + 3)],
-                            r[(kb + 3, jb + 3)],
-                        ],
+                    let mut v = [
+                        vcols.col_seg_mut(n, jb, r0, r1),
+                        vcols.col_seg_mut(n, jb + 1, r0, r1),
+                        vcols.col_seg_mut(n, jb + 2, r0, r1),
+                        vcols.col_seg_mut(n, jb + 3, r0, r1),
                     ];
-                    for rr in 0..len {
-                        let (x0, x1, x2, x3) = (q0[rr], q1[rr], q2[rr], q3[rr]);
-                        let mut a0 = v0[rr];
-                        a0 -= x0 * c[0][0];
-                        a0 -= x1 * c[0][1];
-                        a0 -= x2 * c[0][2];
-                        a0 -= x3 * c[0][3];
-                        v0[rr] = a0;
-                        let mut a1 = v1[rr];
-                        a1 -= x0 * c[1][0];
-                        a1 -= x1 * c[1][1];
-                        a1 -= x2 * c[1][2];
-                        a1 -= x3 * c[1][3];
-                        v1[rr] = a1;
-                        let mut a2 = v2[rr];
-                        a2 -= x0 * c[2][0];
-                        a2 -= x1 * c[2][1];
-                        a2 -= x2 * c[2][2];
-                        a2 -= x3 * c[2][3];
-                        v2[rr] = a2;
-                        let mut a3 = v3[rr];
-                        a3 -= x0 * c[3][0];
-                        a3 -= x1 * c[3][1];
-                        a3 -= x2 * c[3][2];
-                        a3 -= x3 * c[3][3];
-                        v3[rr] = a3;
-                    }
+                    let q = [
+                        &qdata[kb * n + r0..kb * n + r1],
+                        &qdata[(kb + 1) * n + r0..(kb + 1) * n + r1],
+                        &qdata[(kb + 2) * n + r0..(kb + 2) * n + r1],
+                        &qdata[(kb + 3) * n + r0..(kb + 3) * n + r1],
+                    ];
+                    let c =
+                        std::array::from_fn(|jj| std::array::from_fn(|kk| r[(kb + kk, jb + jj)]));
+                    simd::update_tile4(&mut v, &q, &c);
                 } else {
                     // Ragged k remainder or a tile containing zero
                     // coefficients: per-column axpy sweep with the naive
@@ -572,8 +489,9 @@ pub fn gemm_nn_minus(v: &mut MatViewMut<'_>, q: &MatView<'_>, r: &Matrix) {
     }
     let _span = trace::span2("blas3", "gemm_nn_minus", "n", n as u64, "k", k as u64);
     let qdata = q.data();
+    let s = v.ncols();
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
-    parallel_for_range(n, |start, end| {
+    parallel_for_range_bytes(n, 8 * (k + s), |start, end| {
         let mut rb = start;
         while rb < end {
             let re = (rb + ROW_BLOCK).min(end);
@@ -609,7 +527,7 @@ pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
     }
     let _span = trace::span2("blas3", "trsm", "n", n as u64, "s", s as u64);
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
-    parallel_for_range(n, |start, end| {
+    parallel_for_range_bytes(n, 8 * s, |start, end| {
         let mut rb = start;
         while rb < end {
             let re = (rb + ROW_BLOCK).min(end);
@@ -623,15 +541,10 @@ pub fn trsm_right_upper(v: &mut MatViewMut<'_>, r: &Matrix) {
                     let alpha = r[(i, j)];
                     if alpha != 0.0 {
                         let qi = unsafe { vcols.col_seg(n, i, rb, re) };
-                        for (o, q) in vj.iter_mut().zip(qi) {
-                            *o -= alpha * q;
-                        }
+                        simd::axpy_minus(alpha, qi, vj);
                     }
                 }
-                let d = 1.0 / r[(j, j)];
-                for o in vj.iter_mut() {
-                    *o *= d;
-                }
+                simd::scal(1.0 / r[(j, j)], vj);
             }
             rb = re;
         }
@@ -669,8 +582,9 @@ pub fn fused_update_proj_gram(
     let qdata = q.data();
     let vcols = ColPtr(v.data_mut().as_mut_ptr());
     let vlen = n * s;
-    let buf = parallel_reduce_ranges(
+    let buf = parallel_reduce_ranges_bytes(
         n,
+        8 * (k + 2 * s),
         vec![0.0f64; k * s + s * s],
         |start, end| {
             let mut acc = vec![0.0f64; k * s + s * s];

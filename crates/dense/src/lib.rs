@@ -36,6 +36,7 @@ pub mod lsq;
 pub mod matrix;
 pub mod measure;
 pub mod qr;
+pub mod simd;
 pub mod svd;
 pub mod tri;
 
@@ -53,6 +54,7 @@ pub use measure::{
     cond_2, frobenius_norm, orthogonality_error, singular_values, spectral_norm_sym,
 };
 pub use qr::householder_qr;
+pub use simd::{set_simd_override, simd_label, simd_level, SimdLevel};
 pub use svd::svdvals_jacobi;
 pub use tri::{tri_inverse_upper, tri_matmul_upper, tri_solve_upper, tri_solve_upper_transpose};
 

@@ -1,0 +1,600 @@
+//! Runtime-dispatched SIMD backends for the [`crate::blas3`] tile kernels.
+//!
+//! Every entry point here is a *safe* function that picks between an
+//! explicit AVX2(+FMA) `std::arch` implementation and a portable scalar
+//! fallback at runtime ([`simd_level`]), so the same binary runs at full
+//! width on an AVX2 x86_64 host and correctly everywhere else.  The
+//! selection is cached after the first query; `DENSE_SIMD=scalar` in the
+//! environment or [`set_simd_override`] (tests, benchmarks) force the
+//! fallback.
+//!
+//! # Numerical contracts
+//!
+//! The kernels fall into two classes, matching the guarantees the blocked
+//! BLAS-3 layer makes against its `naive_*` oracles:
+//!
+//! * **Bitwise-faithful** — [`update_tile4`], [`axpy_minus`], [`scal`]:
+//!   these implement the `V ← V − Q·R` / TRSM element updates, which the
+//!   property batteries pin bitwise against the naive column sweeps.  The
+//!   vector code performs *exactly* the scalar operation sequence per
+//!   element (multiply then subtract — never FMA, which would contract the
+//!   rounding — in ascending-`k` order), only on four rows per lane at a
+//!   time, so every output bit matches the scalar path.
+//! * **Tolerance-pinned** — [`tn_tile4x4`], [`sym_tile4`], [`dot`]: the
+//!   Gram/projection accumulations are pinned to the oracles within
+//!   `1e-10·n`, so the AVX2 path may use FMA and four parallel lane
+//!   accumulators.  Results differ from the scalar path by the usual
+//!   reassociation rounding (an ulp envelope of a few `ulp·√n`), but are
+//!   fully deterministic for a fixed backend and thread count: lanes are
+//!   reduced in a fixed order and the row tail is folded in last.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set level the tile kernels dispatch to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimdLevel {
+    /// Portable scalar fallback (always available).
+    Scalar,
+    /// x86_64 AVX2 + FMA, verified present at runtime.
+    Avx2,
+}
+
+const UNSET: u8 = 0;
+const SCALAR: u8 = 1;
+const AVX2: u8 = 2;
+
+/// Cached detection result.
+static DETECTED: AtomicU8 = AtomicU8::new(UNSET);
+/// Test/bench override; [`UNSET`] means "no override".
+static OVERRIDE: AtomicU8 = AtomicU8::new(UNSET);
+
+fn hardware_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+fn detect() -> SimdLevel {
+    if std::env::var("DENSE_SIMD").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+        return SimdLevel::Scalar;
+    }
+    hardware_level()
+}
+
+/// The SIMD backend the tile kernels currently dispatch to.
+pub fn simd_level() -> SimdLevel {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        SCALAR => return SimdLevel::Scalar,
+        // An AVX2 override still requires hardware support.
+        AVX2 => return hardware_level(),
+        _ => {}
+    }
+    match DETECTED.load(Ordering::Relaxed) {
+        SCALAR => SimdLevel::Scalar,
+        AVX2 => SimdLevel::Avx2,
+        _ => {
+            let level = detect();
+            DETECTED.store(
+                match level {
+                    SimdLevel::Scalar => SCALAR,
+                    SimdLevel::Avx2 => AVX2,
+                },
+                Ordering::Relaxed,
+            );
+            level
+        }
+    }
+}
+
+/// Force a backend (`None` restores automatic detection).  Intended for
+/// property tests and benchmarks that exercise both code paths in one
+/// process; requesting [`SimdLevel::Avx2`] on hardware without AVX2+FMA
+/// silently stays scalar.
+pub fn set_simd_override(level: Option<SimdLevel>) {
+    OVERRIDE.store(
+        match level {
+            None => UNSET,
+            Some(SimdLevel::Scalar) => SCALAR,
+            Some(SimdLevel::Avx2) => AVX2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Human-readable backend name, recorded in `BENCH_kernels.json`.
+pub fn simd_label() -> &'static str {
+    match simd_level() {
+        SimdLevel::Scalar => "scalar",
+        SimdLevel::Avx2 => "avx2",
+    }
+}
+
+#[inline]
+fn use_avx2() -> bool {
+    simd_level() == SimdLevel::Avx2
+}
+
+/// `tile[j*4+i] += Σ_r a[i][r]·b[j][r]` for a full 4×4 register tile
+/// (tolerance-pinned: the AVX2 path uses FMA and lane accumulators).
+#[inline]
+pub fn tn_tile4x4(a: &[&[f64]; 4], b: &[&[f64]; 4], tile: &mut [f64; 16]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2+FMA presence was verified by `simd_level`.
+        unsafe { avx2::tn_tile4x4(a, b, tile) };
+        return;
+    }
+    tn_tile4x4_scalar(a, b, tile);
+}
+
+fn tn_tile4x4_scalar(a: &[&[f64]; 4], b: &[&[f64]; 4], tile: &mut [f64; 16]) {
+    let len = a[0].len();
+    let (a0, a1, a2, a3) = (a[0], a[1], a[2], a[3]);
+    let (b0, b1, b2, b3) = (b[0], b[1], b[2], b[3]);
+    let (mut c00, mut c10, mut c20, mut c30) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c01, mut c11, mut c21, mut c31) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c02, mut c12, mut c22, mut c32) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for r in 0..len {
+        let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
+        let (y0, y1, y2, y3) = (b0[r], b1[r], b2[r], b3[r]);
+        c00 += x0 * y0;
+        c10 += x1 * y0;
+        c20 += x2 * y0;
+        c30 += x3 * y0;
+        c01 += x0 * y1;
+        c11 += x1 * y1;
+        c21 += x2 * y1;
+        c31 += x3 * y1;
+        c02 += x0 * y2;
+        c12 += x1 * y2;
+        c22 += x2 * y2;
+        c32 += x3 * y2;
+        c03 += x0 * y3;
+        c13 += x1 * y3;
+        c23 += x2 * y3;
+        c33 += x3 * y3;
+    }
+    let cols = [
+        [c00, c10, c20, c30],
+        [c01, c11, c21, c31],
+        [c02, c12, c22, c32],
+        [c03, c13, c23, c33],
+    ];
+    for (jj, col) in cols.iter().enumerate() {
+        for (ii, &v) in col.iter().enumerate() {
+            tile[jj * 4 + ii] += v;
+        }
+    }
+}
+
+/// Upper triangle of the symmetric 4×4 tile `Σ_r a[i][r]·a[j][r]`, packed
+/// as `[(0,0),(0,1),(1,1),(0,2),(1,2),(2,2),(0,3),(1,3),(2,3),(3,3)]`
+/// (tolerance-pinned).
+#[inline]
+pub fn sym_tile4(a: &[&[f64]; 4], tri: &mut [f64; 10]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2+FMA presence was verified by `simd_level`.
+        unsafe { avx2::sym_tile4(a, tri) };
+        return;
+    }
+    sym_tile4_scalar(a, tri);
+}
+
+fn sym_tile4_scalar(a: &[&[f64]; 4], tri: &mut [f64; 10]) {
+    let len = a[0].len();
+    let (a0, a1, a2, a3) = (a[0], a[1], a[2], a[3]);
+    let (mut c00, mut c01, mut c11, mut c02, mut c12) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    let (mut c22, mut c03, mut c13, mut c23, mut c33) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for r in 0..len {
+        let (x0, x1, x2, x3) = (a0[r], a1[r], a2[r], a3[r]);
+        c00 += x0 * x0;
+        c01 += x0 * x1;
+        c11 += x1 * x1;
+        c02 += x0 * x2;
+        c12 += x1 * x2;
+        c22 += x2 * x2;
+        c03 += x0 * x3;
+        c13 += x1 * x3;
+        c23 += x2 * x3;
+        c33 += x3 * x3;
+    }
+    for (slot, v) in tri
+        .iter_mut()
+        .zip([c00, c01, c11, c02, c12, c22, c03, c13, c23, c33])
+    {
+        *slot += v;
+    }
+}
+
+/// Dot product of two equal-length columns (the ragged-tile path;
+/// tolerance-pinned).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2+FMA presence was verified by `simd_level`.
+        return unsafe { avx2::dot(x, y) };
+    }
+    dot_scalar(x, y)
+}
+
+fn dot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    let len = x.len();
+    let (mut s0, mut s1) = (0.0f64, 0.0f64);
+    let mut r = 0;
+    while r + 1 < len {
+        s0 += x[r] * y[r];
+        s1 += x[r + 1] * y[r + 1];
+        r += 2;
+    }
+    if r < len {
+        s0 += x[r] * y[r];
+    }
+    s0 + s1
+}
+
+/// `v[j] ← v[j] − Σ_k c[j][k]·q[k]` for four resident columns against four
+/// streamed columns (bitwise-faithful: per element the four
+/// multiply-then-subtract steps run in ascending `k` order with no FMA,
+/// exactly like the scalar sweep).
+///
+/// All eight slices must have equal length; `c[j][k]` multiplies `q[k]`
+/// into column `j`.  The caller guarantees every coefficient is nonzero
+/// (zero coefficients must take the skipping path instead — see the
+/// blocked-update kernel).
+#[inline]
+pub fn update_tile4(v: &mut [&mut [f64]; 4], q: &[&[f64]; 4], c: &[[f64; 4]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 presence was verified by `simd_level`.
+        unsafe { avx2::update_tile4(v, q, c) };
+        return;
+    }
+    update_tile4_scalar(v, q, c);
+}
+
+fn update_tile4_scalar(v: &mut [&mut [f64]; 4], q: &[&[f64]; 4], c: &[[f64; 4]; 4]) {
+    let len = v[0].len();
+    for (vj, cj) in v.iter_mut().zip(c) {
+        for r in 0..len {
+            let mut acc = vj[r];
+            acc -= q[0][r] * cj[0];
+            acc -= q[1][r] * cj[1];
+            acc -= q[2][r] * cj[2];
+            acc -= q[3][r] * cj[3];
+            vj[r] = acc;
+        }
+    }
+}
+
+/// `y ← y − alpha·x` (bitwise-faithful: multiply then subtract per
+/// element, no FMA).
+#[inline]
+pub fn axpy_minus(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 presence was verified by `simd_level`.
+        unsafe { avx2::axpy_minus(alpha, x, y) };
+        return;
+    }
+    for (o, q) in y.iter_mut().zip(x) {
+        *o -= alpha * q;
+    }
+}
+
+/// `y ← d·y` (bitwise-faithful: one multiply per element).
+#[inline]
+pub fn scal(d: f64, y: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 presence was verified by `simd_level`.
+        unsafe { avx2::scal(d, y) };
+        return;
+    }
+    for o in y.iter_mut() {
+        *o *= d;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Fixed-order horizontal sum `(v0+v2)+(v1+v3)` — deterministic lane
+    /// reduction.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum4(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let pair = _mm_add_pd(lo, hi);
+        let swapped = _mm_unpackhi_pd(pair, pair);
+        _mm_cvtsd_f64(_mm_add_sd(pair, swapped))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tn_tile4x4(a: &[&[f64]; 4], b: &[&[f64]; 4], tile: &mut [f64; 16]) {
+        let len = a[0].len();
+        let body = len & !3;
+        // Two passes of 2 A-columns x 4 B-columns keep the 8 accumulators
+        // plus 6 live loads inside the 16 ymm registers.
+        for ip in 0..2 {
+            let a0 = a[2 * ip].as_ptr();
+            let a1 = a[2 * ip + 1].as_ptr();
+            let mut acc0 = [_mm256_setzero_pd(); 4];
+            let mut acc1 = [_mm256_setzero_pd(); 4];
+            let mut r = 0;
+            while r < body {
+                let va0 = _mm256_loadu_pd(a0.add(r));
+                let va1 = _mm256_loadu_pd(a1.add(r));
+                for j in 0..4 {
+                    let vb = _mm256_loadu_pd(b[j].as_ptr().add(r));
+                    acc0[j] = _mm256_fmadd_pd(va0, vb, acc0[j]);
+                    acc1[j] = _mm256_fmadd_pd(va1, vb, acc1[j]);
+                }
+                r += 4;
+            }
+            for j in 0..4 {
+                let mut s0 = hsum4(acc0[j]);
+                let mut s1 = hsum4(acc1[j]);
+                for rr in body..len {
+                    s0 += a[2 * ip][rr] * b[j][rr];
+                    s1 += a[2 * ip + 1][rr] * b[j][rr];
+                }
+                tile[j * 4 + 2 * ip] += s0;
+                tile[j * 4 + 2 * ip + 1] += s1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sym_tile4(a: &[&[f64]; 4], tri: &mut [f64; 10]) {
+        let len = a[0].len();
+        let body = len & !3;
+        let (p0, p1, p2, p3) = (a[0].as_ptr(), a[1].as_ptr(), a[2].as_ptr(), a[3].as_ptr());
+        let mut acc = [_mm256_setzero_pd(); 10];
+        let mut r = 0;
+        while r < body {
+            let x0 = _mm256_loadu_pd(p0.add(r));
+            let x1 = _mm256_loadu_pd(p1.add(r));
+            let x2 = _mm256_loadu_pd(p2.add(r));
+            let x3 = _mm256_loadu_pd(p3.add(r));
+            acc[0] = _mm256_fmadd_pd(x0, x0, acc[0]);
+            acc[1] = _mm256_fmadd_pd(x0, x1, acc[1]);
+            acc[2] = _mm256_fmadd_pd(x1, x1, acc[2]);
+            acc[3] = _mm256_fmadd_pd(x0, x2, acc[3]);
+            acc[4] = _mm256_fmadd_pd(x1, x2, acc[4]);
+            acc[5] = _mm256_fmadd_pd(x2, x2, acc[5]);
+            acc[6] = _mm256_fmadd_pd(x0, x3, acc[6]);
+            acc[7] = _mm256_fmadd_pd(x1, x3, acc[7]);
+            acc[8] = _mm256_fmadd_pd(x2, x3, acc[8]);
+            acc[9] = _mm256_fmadd_pd(x3, x3, acc[9]);
+            r += 4;
+        }
+        const PAIRS: [(usize, usize); 10] = [
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+            (0, 3),
+            (1, 3),
+            (2, 3),
+            (3, 3),
+        ];
+        for (slot, (av, (i, j))) in tri.iter_mut().zip(acc.iter().zip(PAIRS)) {
+            let mut s = hsum4(*av);
+            for (&ai, &aj) in a[i][body..len].iter().zip(&a[j][body..len]) {
+                s += ai * aj;
+            }
+            *slot += s;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let len = x.len();
+        let body = len & !7;
+        let (px, py) = (x.as_ptr(), y.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut r = 0;
+        while r < body {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(px.add(r)), _mm256_loadu_pd(py.add(r)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(px.add(r + 4)),
+                _mm256_loadu_pd(py.add(r + 4)),
+                acc1,
+            );
+            r += 8;
+        }
+        let mut s = hsum4(_mm256_add_pd(acc0, acc1));
+        for rr in body..len {
+            s += x[rr] * y[rr];
+        }
+        s
+    }
+
+    /// Bitwise-faithful 4-column update: per element, multiply-then-subtract
+    /// in ascending `k` order — `_mm256_mul_pd` + `_mm256_sub_pd`, never
+    /// FMA, so every lane reproduces the scalar sweep exactly.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn update_tile4(v: &mut [&mut [f64]; 4], q: &[&[f64]; 4], c: &[[f64; 4]; 4]) {
+        let len = v[0].len();
+        let body = len & !3;
+        let (q0, q1, q2, q3) = (q[0].as_ptr(), q[1].as_ptr(), q[2].as_ptr(), q[3].as_ptr());
+        for (vj, cj) in v.iter_mut().zip(c) {
+            let pv = vj.as_mut_ptr();
+            let c0 = _mm256_set1_pd(cj[0]);
+            let c1 = _mm256_set1_pd(cj[1]);
+            let c2 = _mm256_set1_pd(cj[2]);
+            let c3 = _mm256_set1_pd(cj[3]);
+            let mut r = 0;
+            while r < body {
+                let mut acc = _mm256_loadu_pd(pv.add(r));
+                acc = _mm256_sub_pd(acc, _mm256_mul_pd(c0, _mm256_loadu_pd(q0.add(r))));
+                acc = _mm256_sub_pd(acc, _mm256_mul_pd(c1, _mm256_loadu_pd(q1.add(r))));
+                acc = _mm256_sub_pd(acc, _mm256_mul_pd(c2, _mm256_loadu_pd(q2.add(r))));
+                acc = _mm256_sub_pd(acc, _mm256_mul_pd(c3, _mm256_loadu_pd(q3.add(r))));
+                _mm256_storeu_pd(pv.add(r), acc);
+                r += 4;
+            }
+            for rr in body..len {
+                let mut acc = vj[rr];
+                acc -= q[0][rr] * cj[0];
+                acc -= q[1][rr] * cj[1];
+                acc -= q[2][rr] * cj[2];
+                acc -= q[3][rr] * cj[3];
+                vj[rr] = acc;
+            }
+        }
+    }
+
+    /// Bitwise-faithful `y ← y − alpha·x` (multiply then subtract, no FMA).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_minus(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let len = y.len();
+        let body = len & !3;
+        let va = _mm256_set1_pd(alpha);
+        let px = x.as_ptr();
+        let py = y.as_mut_ptr();
+        let mut r = 0;
+        while r < body {
+            let prod = _mm256_mul_pd(va, _mm256_loadu_pd(px.add(r)));
+            _mm256_storeu_pd(py.add(r), _mm256_sub_pd(_mm256_loadu_pd(py.add(r)), prod));
+            r += 4;
+        }
+        for rr in body..len {
+            y[rr] -= alpha * x[rr];
+        }
+    }
+
+    /// Bitwise-faithful `y ← d·y`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scal(d: f64, y: &mut [f64]) {
+        let len = y.len();
+        let body = len & !3;
+        let vd = _mm256_set1_pd(d);
+        let py = y.as_mut_ptr();
+        let mut r = 0;
+        while r < body {
+            _mm256_storeu_pd(py.add(r), _mm256_mul_pd(vd, _mm256_loadu_pd(py.add(r))));
+            r += 4;
+        }
+        for yr in &mut y[body..len] {
+            *yr *= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: usize, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 7 + seed * 13) % 23) as f64 * 0.37 - 3.1)
+            .collect()
+    }
+
+    /// Serialize tests that flip the global backend override.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("simd override lock poisoned")
+    }
+
+    #[test]
+    fn level_is_resolvable_and_labelled() {
+        let _guard = override_lock();
+        set_simd_override(None);
+        let level = simd_level();
+        assert!(matches!(level, SimdLevel::Scalar | SimdLevel::Avx2));
+        assert!(matches!(simd_label(), "scalar" | "avx2"));
+        set_simd_override(Some(SimdLevel::Scalar));
+        assert_eq!(simd_level(), SimdLevel::Scalar);
+        set_simd_override(None);
+        assert_eq!(simd_level(), level);
+    }
+
+    #[test]
+    fn tn_tile_backends_agree_within_tolerance() {
+        let _guard = override_lock();
+        for n in [1usize, 4, 7, 64, 251] {
+            let cols: Vec<Vec<f64>> = (0..8).map(|s| col(n, s)).collect();
+            let a = [&cols[0][..], &cols[1][..], &cols[2][..], &cols[3][..]];
+            let b = [&cols[4][..], &cols[5][..], &cols[6][..], &cols[7][..]];
+            let mut scalar_tile = [0.0f64; 16];
+            tn_tile4x4_scalar(&a, &b, &mut scalar_tile);
+            set_simd_override(None);
+            let mut auto_tile = [0.0f64; 16];
+            tn_tile4x4(&a, &b, &mut auto_tile);
+            for (x, y) in auto_tile.iter().zip(&scalar_tile) {
+                assert!((x - y).abs() <= 1e-10 * (n as f64).max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_and_axpy_are_bitwise_across_backends() {
+        let _guard = override_lock();
+        for n in [1usize, 3, 4, 63, 257] {
+            let q: Vec<Vec<f64>> = (0..4).map(|s| col(n, s + 9)).collect();
+            let qr = [&q[0][..], &q[1][..], &q[2][..], &q[3][..]];
+            let c = [[0.3, -1.2, 0.7, 2.5]; 4];
+            let mut v_scalar: Vec<Vec<f64>> = (0..4).map(|s| col(n, s + 40)).collect();
+            let mut v_simd = v_scalar.clone();
+            {
+                let [v0, v1, v2, v3] = &mut v_scalar[..] else {
+                    unreachable!()
+                };
+                update_tile4_scalar(&mut [v0, v1, v2, v3], &qr, &c);
+            }
+            set_simd_override(None);
+            {
+                let [v0, v1, v2, v3] = &mut v_simd[..] else {
+                    unreachable!()
+                };
+                update_tile4(&mut [v0, v1, v2, v3], &qr, &c);
+            }
+            assert_eq!(v_scalar, v_simd, "update_tile4 must be bitwise stable");
+
+            let x = col(n, 77);
+            let mut y_scalar = col(n, 78);
+            let mut y_simd = y_scalar.clone();
+            set_simd_override(Some(SimdLevel::Scalar));
+            axpy_minus(0.825, &x, &mut y_scalar);
+            scal(1.0 / 3.0, &mut y_scalar);
+            set_simd_override(None);
+            axpy_minus(0.825, &x, &mut y_simd);
+            scal(1.0 / 3.0, &mut y_simd);
+            set_simd_override(None);
+            assert_eq!(y_scalar, y_simd, "axpy/scal must be bitwise stable");
+        }
+    }
+
+    #[test]
+    fn dot_backends_agree_within_tolerance() {
+        let _guard = override_lock();
+        for n in [0usize, 1, 7, 8, 9, 255, 1024] {
+            let x = col(n, 3);
+            let y = col(n, 5);
+            let scalar = dot_scalar(&x, &y);
+            set_simd_override(None);
+            let auto = dot(&x, &y);
+            assert!((scalar - auto).abs() <= 1e-10 * (n as f64).max(1.0));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Property battery for the runtime-dispatched SIMD tile kernels: every
+//! blocked kernel is pinned to its `naive_*` oracle on awkward shapes — row
+//! counts that are not multiples of the register tile ([`dense::TILE`]) or
+//! the 4-wide AVX2 lane, `s ∈ 1..=10`, and the `k = 0` edge — across
+//! thread counts {1, 4, 8}, and the scalar and SIMD backends are
+//! cross-checked against each other (bitwise for the update/TRSM class,
+//! tolerance for the Gram/projection class).
+//!
+//! The final test is the multithread scaling smoke check on a bench-sized
+//! panel: with ≥ 2 hardware threads the 8-thread blocked Gram must beat
+//! the 1-thread time; on a single hardware thread (where scaling is
+//! physically impossible) the pool's dispatch overhead must stay bounded.
+
+use dense::{Matrix, SimdLevel, ROW_BLOCK, TILE};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Both the `parkit` thread count and the SIMD backend override are
+/// process-global; serialize every test that touches either.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn panel(n: usize, s: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(n, s, |i, j| {
+        ((i * 29 + j * 23 + seed * 37) % 67) as f64 * 0.029 - 0.95
+            + if (i + 2 * j + seed).is_multiple_of(11) {
+                1.3
+            } else {
+                0.0
+            }
+    })
+}
+
+fn upper(s: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(s, s, |i, j| {
+        if i > j {
+            0.0
+        } else if i == j {
+            1.4 + ((i + seed) % 3) as f64 * 0.3
+        } else {
+            ((2 * i + j + seed) % 5) as f64 * 0.12 - 0.25
+        }
+    })
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f64, what: &str) {
+    assert_eq!(a.nrows(), b.nrows(), "{what}: row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "{what}: col mismatch");
+    for j in 0..a.ncols() {
+        for i in 0..a.nrows() {
+            assert!(
+                (a[(i, j)] - b[(i, j)]).abs() <= tol,
+                "{what} entry ({i},{j}): {} vs {} (tol {tol:.3e})",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+/// Row counts straddling the register tile and the 4-wide AVX2 lane: the
+/// interesting remainders are 1..=3 rows past a tile/lane boundary plus the
+/// panel-boundary stragglers.
+fn awkward_rows() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        2,
+        3,
+        TILE - 1,
+        TILE + 1,
+        TILE + 3,
+        2 * TILE + 1,
+        7 * TILE + 2,
+        ROW_BLOCK - 1,
+        ROW_BLOCK + 5,
+        2 * ROW_BLOCK + 3,
+        1_031, // prime
+    ]
+}
+
+/// Every kernel vs its oracle on one (n, s, k) shape under the current
+/// global thread count and backend.
+fn check_shape(n: usize, s: usize, k: usize) {
+    let v = panel(n, s, 3);
+    let q = panel(n, k, 5);
+    let p = Matrix::from_fn(k, s, |i, j| ((i + 3 * j) % 4) as f64 * 0.21 - 0.3);
+    let r = upper(s, 2);
+    let tol = 1e-10 * (n.max(1) as f64);
+    // Tolerance class: gram / gemm_tn.
+    assert_close(
+        &dense::gram(&v.view()),
+        &dense::naive_gram(&v.view()),
+        tol,
+        "gram",
+    );
+    assert_close(
+        &dense::gemm_tn(&q.view(), &v.view()),
+        &dense::naive_gemm_tn(&q.view(), &v.view()),
+        tol,
+        "gemm_tn",
+    );
+    // Bitwise class: update, TRSM, and the fused update half.
+    let mut w = v.clone();
+    let mut w_ref = v.clone();
+    dense::gemm_nn_minus(&mut w.view_mut(), &q.view(), &p);
+    dense::naive_gemm_nn_minus(&mut w_ref.view_mut(), &q.view(), &p);
+    assert_eq!(w, w_ref, "update bitwise (n={n}, s={s}, k={k})");
+    let mut t = v.clone();
+    let mut t_ref = v.clone();
+    dense::trsm_right_upper(&mut t.view_mut(), &r);
+    dense::naive_trsm_right_upper(&mut t_ref.view_mut(), &r);
+    assert_eq!(t, t_ref, "trsm bitwise (n={n}, s={s})");
+    let mut f = v.clone();
+    let (fc, fg) = dense::fused_update_proj_gram(&mut f.view_mut(), &q.view(), &p);
+    assert_eq!(f, w, "fused update bitwise (n={n}, s={s}, k={k})");
+    assert_close(
+        &fc,
+        &dense::naive_gemm_tn(&q.view(), &w.view()),
+        tol,
+        "fused C",
+    );
+    assert_close(&fg, &dense::naive_gram(&w.view()), tol, "fused G");
+}
+
+#[test]
+fn simd_kernels_match_oracles_on_awkward_shapes_across_thread_counts() {
+    let _guard = global_lock();
+    for threads in [1usize, 4, 8] {
+        parkit::set_num_threads(threads);
+        for n in awkward_rows() {
+            for s in [1usize, 2, TILE - 1, TILE, TILE + 1, 10] {
+                for k in [0usize, 1, TILE, TILE + 2] {
+                    check_shape(n, s, k);
+                }
+            }
+        }
+    }
+    parkit::set_num_threads(0);
+}
+
+#[test]
+fn scalar_backend_matches_oracles_on_awkward_shapes() {
+    let _guard = global_lock();
+    dense::set_simd_override(Some(SimdLevel::Scalar));
+    for threads in [1usize, 4] {
+        parkit::set_num_threads(threads);
+        for n in [1usize, TILE + 1, ROW_BLOCK + 5, 1_031] {
+            for (s, k) in [(1usize, 0usize), (5, 3), (10, TILE)] {
+                check_shape(n, s, k);
+            }
+        }
+    }
+    dense::set_simd_override(None);
+    parkit::set_num_threads(0);
+}
+
+#[test]
+fn update_class_is_bitwise_identical_across_backends() {
+    let _guard = global_lock();
+    parkit::set_num_threads(3);
+    for n in [1usize, TILE + 3, ROW_BLOCK + 1, 1_031] {
+        let s = 7;
+        let k = 5;
+        let v = panel(n, s, 9);
+        let q = panel(n, k, 4);
+        let p = Matrix::from_fn(k, s, |i, j| ((2 * i + j) % 5) as f64 * 0.19 - 0.3);
+        let r = upper(s, 6);
+        dense::set_simd_override(Some(SimdLevel::Scalar));
+        let mut w_scalar = v.clone();
+        dense::gemm_nn_minus(&mut w_scalar.view_mut(), &q.view(), &p);
+        let mut t_scalar = v.clone();
+        dense::trsm_right_upper(&mut t_scalar.view_mut(), &r);
+        let mut f_scalar = v.clone();
+        let _ = dense::fused_update_proj_gram(&mut f_scalar.view_mut(), &q.view(), &p);
+        dense::set_simd_override(None);
+        let mut w_auto = v.clone();
+        dense::gemm_nn_minus(&mut w_auto.view_mut(), &q.view(), &p);
+        let mut t_auto = v.clone();
+        dense::trsm_right_upper(&mut t_auto.view_mut(), &r);
+        let mut f_auto = v.clone();
+        let _ = dense::fused_update_proj_gram(&mut f_auto.view_mut(), &q.view(), &p);
+        assert_eq!(w_scalar, w_auto, "update must not depend on the backend");
+        assert_eq!(t_scalar, t_auto, "trsm must not depend on the backend");
+        assert_eq!(
+            f_scalar, f_auto,
+            "fused update must not depend on the backend"
+        );
+    }
+    parkit::set_num_threads(0);
+}
+
+#[test]
+fn gram_class_backends_agree_within_ulp_envelope() {
+    let _guard = global_lock();
+    parkit::set_num_threads(2);
+    for n in [TILE + 1, ROW_BLOCK + 5, 2_051] {
+        let v = panel(n, 9, 1);
+        let q = panel(n, 6, 2);
+        dense::set_simd_override(Some(SimdLevel::Scalar));
+        let g_scalar = dense::gram(&v.view());
+        let c_scalar = dense::gemm_tn(&q.view(), &v.view());
+        dense::set_simd_override(None);
+        let g_auto = dense::gram(&v.view());
+        let c_auto = dense::gemm_tn(&q.view(), &v.view());
+        // FMA + lane reassociation envelope, far tighter than the oracle
+        // tolerance.
+        let tol = 1e-12 * (n as f64);
+        assert_close(&g_scalar, &g_auto, tol, "gram backend envelope");
+        assert_close(&c_scalar, &c_auto, tol, "gemm_tn backend envelope");
+    }
+    parkit::set_num_threads(0);
+}
+
+/// Multithread scaling smoke check on a bench-sized panel (the PR's bug
+/// signature: 8-thread Gram used to be *slower* than 1-thread).  Real
+/// speedup is only physically possible with ≥ 2 hardware threads; on a
+/// single-core host the assertion degrades to a dispatch-overhead bound.
+#[test]
+fn eight_thread_gram_beats_or_matches_one_thread() {
+    let _guard = global_lock();
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let v = panel(200_000, 8, 5);
+    let time_gram = || {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(dense::gram(&v.view()));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    parkit::set_num_threads(1);
+    let _warm = time_gram();
+    let t1 = time_gram();
+    parkit::set_num_threads(8);
+    let t8 = time_gram();
+    parkit::set_num_threads(0);
+    if hw >= 2 {
+        assert!(
+            t8 < t1,
+            "8-thread gram must beat 1-thread on {hw} hardware threads: {t8:.6}s vs {t1:.6}s"
+        );
+    } else {
+        assert!(
+            t8 <= 2.5 * t1,
+            "pool dispatch overhead out of bounds on one hardware thread: \
+             8-thread {t8:.6}s vs 1-thread {t1:.6}s"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random shapes around lane/tile boundaries, random thread counts,
+    /// including the k = 0 edge.
+    #[test]
+    fn random_shapes_match_oracles(
+        n in 0usize..1_500,
+        s in 1usize..11,
+        k in 0usize..9,
+        threads in 1usize..9,
+    ) {
+        let _guard = global_lock();
+        parkit::set_num_threads(threads);
+        check_shape(n, s, k);
+        parkit::set_num_threads(0);
+    }
+}

@@ -224,7 +224,13 @@ impl DistMultiVector {
     /// is [`dense::fused_update_proj_gram`].
     ///
     /// With an empty `prev` the update is a no-op and `C` is `0×s`; the
-    /// call degenerates to [`gram`] (still one reduce, of `s²` words).
+    /// call is **routed** to the dedicated symmetric [`dense::gram`] kernel
+    /// instead of the fused pass (still one reduce, of `s²` words).  The
+    /// routing decision depends only on the shape (`k == 0`), never on
+    /// timing, so repeated runs stay bitwise-identical.  For `k > 0` the
+    /// fused single pass is unconditionally the faster formulation: it
+    /// moves `n·(k + 2s)` words where the separate sweeps move
+    /// `n·(2k + 3s)`.
     ///
     /// [`proj_and_gram`]: Self::proj_and_gram
     /// [`gram`]: Self::gram
@@ -241,7 +247,11 @@ impl DistMultiVector {
         let (head, mut tail) = self.local.split_at_col(new.start);
         let q = head.cols(prev);
         let mut v = tail.cols_mut(0..s);
-        let (c_local, g_local) = dense::fused_update_proj_gram(&mut v, &q, p);
+        let (c_local, g_local) = if k == 0 {
+            (Matrix::zeros(0, s), dense::gram(&v.as_view()))
+        } else {
+            dense::fused_update_proj_gram(&mut v, &q, p)
+        };
         let mut buf = Vec::with_capacity(k * s + s * s);
         buf.extend_from_slice(c_local.data());
         buf.extend_from_slice(g_local.data());

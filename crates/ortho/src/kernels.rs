@@ -18,6 +18,15 @@
 //! | [`bcgs_pip2_fused`] | 2 | 5 (vs 6 for two `bcgs_pip` calls) |
 //! | [`columnwise_cgs2`] | 3·s | O(s) column sweeps |
 //!
+//! The pass savings of [`bcgs_pip2_fused`] hinge on
+//! [`DistMultiVector::update_and_gram`] being a *genuine* single
+//! traversal: `dense::fused_update_proj_gram` applies `W = V − Q·P` and
+//! accumulates `QᵀW` and `WᵀW` per cache-resident row panel, so the
+//! updated rows are consumed while still hot instead of being re-read by
+//! separate `gemm_tn`/`gram` sweeps.  With an empty `prev` the call
+//! routes (by shape, never by timing) to the dedicated symmetric Gram
+//! kernel.
+//!
 //! All kernels operate in place on column ranges of a [`DistMultiVector`]
 //! and return the small replicated factors.
 

@@ -53,6 +53,29 @@ pub fn num_threads_for(len: usize) -> usize {
     by_grain.min(max_threads()).max(1)
 }
 
+/// Like [`num_threads_for`], but sized from cache geometry instead of item
+/// count: each thread's chunk must cover at least [`MIN_GRAIN_BYTES`] of
+/// traversed data (`len * bytes_per_item`).
+///
+/// The row-blocked `dense` kernels use this with `bytes_per_item` = bytes
+/// per matrix row actually touched, so a panel with few columns is split
+/// into fewer, larger chunks than one with many — chunk size tracks the
+/// memory actually streamed, not the lane count.  Changing the panel shape
+/// changes the thread count and therefore (for reductions) the combine
+/// tree, but for a fixed `(len, bytes_per_item, max_threads)` the chunking
+/// — and thus every reduction result — is fully deterministic.
+pub fn num_threads_for_bytes(len: usize, bytes_per_item: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    // A chunk should amortize dispatch over several ROW_BLOCK-sized cache
+    // panels: 128 KiB is ~4 panels of 256 rows x 16 columns of f64.
+    const MIN_GRAIN_BYTES: usize = 128 * 1024;
+    let bytes = len.saturating_mul(bytes_per_item.max(1));
+    let by_grain = bytes.div_ceil(MIN_GRAIN_BYTES).max(1);
+    by_grain.min(max_threads()).max(1)
+}
+
 /// Serializes tests (across this crate's modules) that mutate the
 /// process-global thread-count override, so the parallel test harness
 /// cannot interleave one test's `set_num_threads` with another's asserts.
@@ -96,6 +119,20 @@ mod tests {
         set_num_threads(8);
         assert_eq!(num_threads_for(1 << 20), 8);
         assert_eq!(num_threads_for(2048), 2);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn byte_weighted_grain_tracks_row_width() {
+        let _guard = test_override_lock();
+        set_num_threads(8);
+        // 40k rows x 64 B (s = 8 panel) is 2.5 MB: every lane gets a chunk.
+        assert_eq!(num_threads_for_bytes(40_000, 64), 8);
+        // The same row count at 8 B per row is only 320 KB: fewer chunks.
+        assert_eq!(num_threads_for_bytes(40_000, 8), 3);
+        // Tiny panels stay serial no matter how wide the pool is.
+        assert_eq!(num_threads_for_bytes(1024, 40), 1);
+        assert_eq!(num_threads_for_bytes(0, 64), 1);
         set_num_threads(0);
     }
 }

@@ -12,15 +12,21 @@
 //!
 //! * **Persistent worker pool.**  Workers are spawned once (lazily, on the
 //!   first parallel call) and parallel regions are dispatched to them with
-//!   a generation-counted barrier protocol (see the `pool` module) — inside
-//!   the GMRES inner loop a kernel launch costs a condvar wake instead of
-//!   an OS thread spawn.  Nested or concurrent submissions (e.g. from
-//!   simulated `distsim` ranks) transparently fall back to scoped spawns,
-//!   so any thread may open a parallel region at any time.
+//!   a generation-counted protocol (see the `pool` module) — inside the
+//!   GMRES inner loop a kernel launch costs a few atomic stores plus
+//!   targeted `unpark`s of exactly the participating lanes, instead of an
+//!   OS thread spawn or a full-pool broadcast.  Chunks are pre-assigned to
+//!   lanes in deterministic contiguous ownership bands (with stealing for
+//!   balance), so the same lane touches the same row ranges across
+//!   successive kernel calls and panels stay hot in its core's cache.
+//!   Nested or concurrent submissions (e.g. from simulated `distsim`
+//!   ranks) transparently fall back to scoped spawns, so any thread may
+//!   open a parallel region at any time.
 //! * **Deterministic chunking.**  A given `(len, nthreads)` pair always
 //!   produces the same chunk boundaries, and reductions combine per-chunk
 //!   partials in chunk order, so results do not depend on which pool lane
-//!   ran which chunk and runs are reproducible.
+//!   ran which chunk and runs are reproducible.  Band ownership and
+//!   stealing move *execution*, never chunk identity.
 //! * **Configurable thread count.**  The number of chunks a region is split
 //!   into defaults to the available parallelism and can be overridden with
 //!   the `TWOSTAGE_NUM_THREADS` environment variable or programmatically
@@ -47,14 +53,15 @@ mod pool;
 mod reduce;
 
 pub use chunk::{chunk_ranges, ChunkRange};
-pub use config::{max_threads, num_threads_for, set_num_threads};
+pub use config::{max_threads, num_threads_for, num_threads_for_bytes, set_num_threads};
 pub use parallel::{
-    parallel_for_chunks, parallel_for_chunks_with, parallel_for_range, parallel_join,
-    parallel_zip_chunks,
+    parallel_for_chunks, parallel_for_chunks_with, parallel_for_range, parallel_for_range_bytes,
+    parallel_join, parallel_zip_chunks,
 };
 pub use pool::pool_lanes;
 pub use reduce::{
-    parallel_map_reduce, parallel_reduce_chunks, parallel_reduce_ranges, parallel_sum,
+    parallel_map_reduce, parallel_reduce_chunks, parallel_reduce_ranges,
+    parallel_reduce_ranges_bytes, parallel_sum,
 };
 
 #[cfg(test)]

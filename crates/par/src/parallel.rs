@@ -7,7 +7,7 @@
 //! by its index, so results are independent of scheduling.
 
 use crate::chunk::chunk_ranges;
-use crate::config::num_threads_for;
+use crate::config::{num_threads_for, num_threads_for_bytes};
 use crate::pool::{run_chunks, SendPtr};
 
 /// Run `body(chunk, offset)` over contiguous chunks of `data` in parallel.
@@ -76,7 +76,25 @@ pub fn parallel_for_range<F>(len: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    let nthreads = num_threads_for(len);
+    for_range_nthreads(len, num_threads_for(len), body)
+}
+
+/// [`parallel_for_range`] with the chunk count derived from cache geometry
+/// (`bytes_per_item` = bytes one index traverses; see
+/// [`num_threads_for_bytes`]).  Used by the row-blocked `dense` kernels so
+/// chunk sizes track the memory actually streamed rather than the lane
+/// count.
+pub fn parallel_for_range_bytes<F>(len: usize, bytes_per_item: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    for_range_nthreads(len, num_threads_for_bytes(len, bytes_per_item), body)
+}
+
+fn for_range_nthreads<F>(len: usize, nthreads: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
     if nthreads <= 1 {
         if len > 0 {
             body(0, len);

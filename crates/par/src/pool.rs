@@ -1,27 +1,44 @@
 //! The persistent worker pool behind every parallel region.
 //!
 //! Workers are spawned once (lazily, on the first parallel call) and then
-//! dispatched to with a generation-counted barrier protocol instead of the
+//! dispatched to with a generation-counted protocol instead of the
 //! per-region `std::thread::scope` spawns the crate started with — inside
-//! the GMRES inner loop a kernel launch costs a condvar wake instead of an
-//! OS thread creation.
+//! the GMRES inner loop a kernel launch costs a handful of atomic stores
+//! and targeted `unpark`s instead of an OS thread creation.
 //!
 //! Dispatch protocol (one "job" = one parallel region of `nchunks` chunks):
 //!
-//! 1. The submitter serializes on [`Pool::submit`], publishes the job
-//!    (type-erased closure pointer + chunk count), resets the shared chunk
-//!    counter, bumps the generation under [`Pool::generation`] and wakes
-//!    every worker.
-//! 2. Workers and the submitting thread claim chunk indices from one atomic
-//!    counter until all chunks are taken, then each worker *acknowledges*
-//!    the generation by decrementing [`Pool::remaining`].
-//! 3. The submitter returns only after every worker has acknowledged, so
-//!    the borrowed closure can never be observed after the region ends —
-//!    that hand-shake is what makes the lifetime-erasing pointer sound.
+//! 1. The submitter serializes on [`Pool::submit`], picks the number of
+//!    *participants* `P = min(nchunks, lanes)`, publishes the job
+//!    (type-erased closure pointer + chunk count), resets the per-band
+//!    chunk cursors, and publishes `(generation, P)` packed into one
+//!    atomic word with release ordering.  It then unparks exactly the
+//!    `P - 1` participating workers — idle lanes are never woken and never
+//!    acknowledge, so launch latency scales with the region width, not the
+//!    pool width.
+//! 2. Chunk indices are pre-assigned to participants in contiguous
+//!    *ownership bands* (participant `p` owns the `p`-th of `P` contiguous
+//!    index ranges, computed with the same splitting rule as
+//!    [`crate::chunk_ranges`]).  Because callers also derive `nchunks` from
+//!    the thread count, participant `p` claims the *same* chunk — hence the
+//!    same row ranges of the same arrays — across successive kernel calls,
+//!    which keeps panels hot in that core's private cache (first-touch
+//!    affinity).  A participant that drains its own band steals from the
+//!    other bands (own-band-first, then cyclic scan), so imbalance still
+//!    load-balances.
+//! 3. Each participating worker *acknowledges* by decrementing
+//!    [`Pool::remaining`]; the submitter participates as the last band and
+//!    returns only after every participant has acknowledged, so the
+//!    borrowed closure can never be observed after the region ends — that
+//!    hand-shake is what makes the lifetime-erasing pointer sound.
+//!
+//! Workers spin briefly on the generation word before parking, so
+//! back-to-back sub-millisecond kernel launches (the s-step inner loop)
+//! usually dispatch without any futex traffic at all.
 //!
 //! Chunk *identity* (which slice range a chunk index covers) is fixed by
-//! the caller before dispatch, so dynamic claiming changes which thread
-//! runs a chunk but never what the chunk computes; reductions stay
+//! the caller before dispatch, so band ownership and stealing change which
+//! thread runs a chunk but never what the chunk computes; reductions stay
 //! deterministic because partial results are combined in chunk order by
 //! the caller.
 //!
@@ -29,26 +46,41 @@
 //! submits while a region is in flight) or a region is re-entered from
 //! inside a pooled worker, submission falls back to the original scoped
 //! spawn path, which is always safe.
-//!
-//! Known tradeoff: every job wakes the *whole* pool and waits for every
-//! worker's acknowledgement, so launch latency grows with pool width even
-//! for two-chunk regions.  The full-ack barrier is what makes job-slot
-//! reuse and the borrowed-closure lifetime sound without per-generation
-//! ticket bookkeeping; idle workers acknowledge in nanoseconds, tiny
-//! inputs never reach the pool (see `num_threads_for`'s serial grain), and
-//! the cost replaced is a full `thread::spawn` per region.  Revisit with a
-//! generation-tagged participation ticket if profiles ever show the
-//! broadcast dominating on very wide machines.
 
 use crate::config::max_threads;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::Thread;
 
 /// Minimum number of execution lanes (workers + submitter) the pool is
 /// created with, so raising `TWOSTAGE_NUM_THREADS` after startup still
 /// finds live workers.
 const MIN_LANES: usize = 8;
+
+/// Spins on the generation word before parking (worker side): long enough
+/// that back-to-back kernel launches in the s-step inner loop are caught
+/// in user space, short enough that an idle pool stops burning cycles
+/// quickly (one `spin_loop` hint is tens of cycles).
+const WORKER_SPIN: u32 = 1024;
+
+/// Spins on the remaining-count before the submitter blocks on the
+/// completion condvar.  Workers usually finish within the submitter's own
+/// band time, so this window almost always hits.
+const SUBMIT_SPIN: u32 = 256;
+
+/// `(generation, participants)` packed into one atomic word: the low
+/// [`PART_BITS`] bits carry the participant count of the current job, the
+/// rest the generation.  Packing them lets non-participating workers
+/// decide "not my job" from a single acquire load without ever touching
+/// the job slot (which only participants may read while it is valid).
+const PART_BITS: u32 = 16;
+const PART_MASK: u64 = (1 << PART_BITS) - 1;
+
+/// Aligns the per-band chunk cursors to cache lines so owners and thieves
+/// on different cores do not false-share.
+#[repr(align(64))]
+struct CacheLine(AtomicUsize);
 
 /// The job slot holds a type-erased borrowed parallel-region body.  The
 /// `'static` in the stored pointer type is a lie told only for storage; the
@@ -60,28 +92,33 @@ struct JobSlot {
 }
 
 // SAFETY: the slot is only written by the unique submitter (holder of
-// `Pool::submit`) while no worker is between generation-observe and
-// acknowledge, and only read by workers after observing the generation
-// bump that the write happens-before (both under `Pool::generation`).
+// `Pool::submit`) while no participant is between generation-observe and
+// acknowledge, and only read by participants after the acquire load of
+// `Pool::gen_word` that the release store made the write happen-before.
+// Non-participants never touch the slot.
 unsafe impl Sync for JobSlot {}
 
 struct Pool {
     /// Number of spawned worker threads (excluding submitters).  Written
     /// once during pool construction, before the pool is published.
     workers: AtomicUsize,
-    /// Job generation; bumped once per dispatched region.
-    generation: Mutex<u64>,
-    /// Workers park here between jobs.
-    work_ready: Condvar,
+    /// Packed `(generation << PART_BITS) | participants`; bumped once per
+    /// dispatched region with release ordering.
+    gen_word: AtomicU64,
+    /// Worker thread handles for targeted `unpark`; index = worker lane.
+    /// Set once at pool construction, after the workers are spawned.
+    handles: OnceLock<Vec<Thread>>,
     /// The published job.
     slot: JobSlot,
-    /// Next chunk index to claim (shared by workers and the submitter).
-    next: AtomicUsize,
-    /// Workers that have not yet acknowledged the current generation.
+    /// Per-participant band cursors: `cursors[p]` is the next unclaimed
+    /// offset *within* participant `p`'s ownership band.
+    cursors: Vec<CacheLine>,
+    /// Participating workers that have not yet acknowledged.
     remaining: AtomicUsize,
     /// Set when a worker caught a panic from the region body.
     panicked: AtomicBool,
-    /// Submitter-side completion parking.
+    /// Submitter-side completion parking (taken only after the spin window
+    /// misses).
     done_lock: Mutex<()>,
     done: Condvar,
     /// Serializes job submission; `try_lock` failure routes concurrent
@@ -98,33 +135,33 @@ fn pool() -> &'static Pool {
             .max(MIN_LANES);
         let pool: &'static Pool = Box::leak(Box::new(Pool {
             workers: AtomicUsize::new(0),
-            generation: Mutex::new(0),
-            work_ready: Condvar::new(),
+            gen_word: AtomicU64::new(0),
+            handles: OnceLock::new(),
             slot: JobSlot {
                 func: UnsafeCell::new(None),
                 nchunks: UnsafeCell::new(0),
             },
-            next: AtomicUsize::new(0),
+            cursors: (0..lanes).map(|_| CacheLine(AtomicUsize::new(0))).collect(),
             remaining: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             done_lock: Mutex::new(()),
             done: Condvar::new(),
             submit: Mutex::new(()),
         }));
-        let mut spawned = 0;
+        let mut handles = Vec::new();
         for w in 0..lanes.saturating_sub(1) {
-            let ok = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("parkit-worker-{w}"))
-                .spawn(move || worker_loop(pool))
-                .is_ok();
-            if !ok {
-                break; // run with however many workers we got
+                .spawn(move || worker_loop(pool, w));
+            match spawned {
+                Ok(handle) => handles.push(handle.thread().clone()),
+                Err(_) => break, // run with however many workers we got
             }
-            spawned += 1;
         }
         // Written once before `get_or_init` publishes the pool; submitters
-        // observe it through the OnceLock's release/acquire pair.
-        pool.workers.store(spawned, Ordering::Release);
+        // observe both through the OnceLock's release/acquire pair.
+        pool.workers.store(handles.len(), Ordering::Release);
+        let _ = pool.handles.set(handles);
         pool
     })
 }
@@ -136,22 +173,74 @@ pub fn pool_lanes() -> usize {
     pool().workers.load(Ordering::Relaxed) + 1
 }
 
-fn worker_loop(pool: &'static Pool) {
+/// Start of participant `p`'s ownership band over `nchunks` chunks split
+/// across `participants` bands — same splitting rule as
+/// [`crate::chunk_ranges`] (first `nchunks % participants` bands get one
+/// extra chunk), in closed form so dispatch never allocates.
+#[inline]
+fn band_start(nchunks: usize, participants: usize, p: usize) -> usize {
+    let base = nchunks / participants;
+    let rem = nchunks % participants;
+    p * base + p.min(rem)
+}
+
+/// Claim-and-run loop for participant `p`: drain the own band first (so
+/// repeated same-shape jobs touch the same rows from the same lane), then
+/// steal from the other bands in cyclic order.  Returns the number of
+/// chunks this participant executed.
+fn run_band(
+    pool: &Pool,
+    participants: usize,
+    nchunks: usize,
+    p: usize,
+    body: &(dyn Fn(usize) + Sync),
+) -> u64 {
+    let mut claimed = 0u64;
+    for scan in 0..participants {
+        let band = (p + scan) % participants;
+        let start = band_start(nchunks, participants, band);
+        let len = band_start(nchunks, participants, band + 1) - start;
+        loop {
+            let offset = pool.cursors[band].0.fetch_add(1, Ordering::Relaxed);
+            if offset >= len {
+                break;
+            }
+            claimed += 1;
+            body(start + offset);
+        }
+    }
+    claimed
+}
+
+fn worker_loop(pool: &'static Pool, lane: usize) {
     let mut seen = 0u64;
     loop {
-        {
-            let mut generation = pool.generation.lock().expect("pool generation poisoned");
-            while *generation == seen {
-                generation = pool
-                    .work_ready
-                    .wait(generation)
-                    .expect("pool generation poisoned");
+        // Spin briefly — the s-step inner loop launches kernels
+        // back-to-back, and catching the next generation in the spin
+        // window skips the park/unpark round trip entirely.
+        let mut word = pool.gen_word.load(Ordering::Acquire);
+        let mut spins = 0u32;
+        while word == seen {
+            if spins < WORKER_SPIN {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                // A stale unpark token makes the first park return
+                // immediately; the loop re-checks and parks again.
+                std::thread::park();
             }
-            seen = *generation;
+            word = pool.gen_word.load(Ordering::Acquire);
         }
-        // SAFETY: the job was published before the generation bump we just
-        // observed under the same mutex, and cannot be replaced until this
-        // worker acknowledges below.
+        seen = word;
+        let participants = (word & PART_MASK) as usize;
+        if lane + 1 >= participants {
+            // Not a participant of this job: the slot may already be
+            // gone by the time we got here, so never touch it.
+            continue;
+        }
+        // SAFETY: this lane participates, so the submitter cannot retire
+        // the job (or start the next one) until we acknowledge below; the
+        // acquire load above synchronizes with the release publication.
         let (func, nchunks) = unsafe {
             (
                 (*pool.slot.func.get()).expect("pool job missing"),
@@ -161,15 +250,7 @@ fn worker_loop(pool: &'static Pool) {
         let body = unsafe { &*func };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let t0 = trace::enabled().then(trace::now_ns);
-            let mut claimed = 0u64;
-            loop {
-                let i = pool.next.fetch_add(1, Ordering::Relaxed);
-                if i >= nchunks {
-                    break;
-                }
-                claimed += 1;
-                body(i);
-            }
+            let claimed = run_band(pool, participants, nchunks, lane, body);
             if let Some(t0) = t0 {
                 trace::complete_span2(
                     "pool",
@@ -227,9 +308,10 @@ pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
         return run_scoped(nchunks, body);
     };
     let t_dispatch = trace::enabled().then(trace::now_ns);
+    let participants = nchunks.min(workers + 1);
     // Publish the job.  The lifetime transmute is sound because this
-    // function does not return until every worker acknowledges (below), so
-    // no worker can hold the pointer past the borrow.
+    // function does not return until every participant acknowledges
+    // (below), so no worker can hold the pointer past the borrow.
     let ptr: *const (dyn Fn(usize) + Sync + '_) = body;
     let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
         std::mem::transmute::<
@@ -241,30 +323,34 @@ pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
         *pool.slot.func.get() = Some(ptr);
         *pool.slot.nchunks.get() = nchunks;
     }
-    pool.next.store(0, Ordering::Relaxed);
+    for cursor in pool.cursors.iter().take(participants) {
+        cursor.0.store(0, Ordering::Relaxed);
+    }
     pool.panicked.store(false, Ordering::Relaxed);
-    pool.remaining.store(workers, Ordering::Release);
+    pool.remaining.store(participants - 1, Ordering::Release);
+    let generation = (pool.gen_word.load(Ordering::Relaxed) >> PART_BITS).wrapping_add(1);
+    pool.gen_word.store(
+        (generation << PART_BITS) | participants as u64,
+        Ordering::Release,
+    );
+    // Wake exactly the participating workers; idle lanes keep sleeping.
+    for handle in pool
+        .handles
+        .get()
+        .into_iter()
+        .flatten()
+        .take(participants - 1)
     {
-        let mut generation = pool.generation.lock().expect("pool generation poisoned");
-        *generation += 1;
-        pool.work_ready.notify_all();
+        handle.unpark();
     }
     if let Some(t0) = t_dispatch {
         trace::complete_span1("pool", "dispatch", t0, "nchunks", nchunks as u64);
     }
-    // Participate (catching panics so workers are never left holding a
-    // dangling job pointer while we unwind).
+    // Participate as the last band (catching panics so workers are never
+    // left holding a dangling job pointer while we unwind).
     let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let t0 = trace::enabled().then(trace::now_ns);
-        let mut claimed = 0u64;
-        loop {
-            let i = pool.next.fetch_add(1, Ordering::Relaxed);
-            if i >= nchunks {
-                break;
-            }
-            claimed += 1;
-            body(i);
-        }
+        let claimed = run_band(pool, participants, nchunks, participants - 1, body);
         if let Some(t0) = t0 {
             trace::complete_span2(
                 "pool",
@@ -279,11 +365,18 @@ pub(crate) fn run_chunks(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
     }));
     {
         let t0 = trace::enabled().then(trace::now_ns);
-        let mut done_guard = pool.done_lock.lock().expect("pool done lock poisoned");
-        while pool.remaining.load(Ordering::Acquire) != 0 {
-            done_guard = pool.done.wait(done_guard).expect("pool done lock poisoned");
+        let mut spins = 0u32;
+        while pool.remaining.load(Ordering::Acquire) != 0 && spins < SUBMIT_SPIN {
+            std::hint::spin_loop();
+            spins += 1;
         }
-        drop(done_guard);
+        if pool.remaining.load(Ordering::Acquire) != 0 {
+            let mut done_guard = pool.done_lock.lock().expect("pool done lock poisoned");
+            while pool.remaining.load(Ordering::Acquire) != 0 {
+                done_guard = pool.done.wait(done_guard).expect("pool done lock poisoned");
+            }
+            drop(done_guard);
+        }
         if let Some(t0) = t0 {
             trace::complete_span1("pool", "barrier_wait", t0, "nchunks", nchunks as u64);
         }
@@ -347,6 +440,33 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bands_tile_the_chunk_space() {
+        for nchunks in [2usize, 3, 7, 8, 97] {
+            for participants in 1..=nchunks.min(9) {
+                assert_eq!(band_start(nchunks, participants, 0), 0);
+                assert_eq!(band_start(nchunks, participants, participants), nchunks);
+                for p in 0..participants {
+                    let lo = band_start(nchunks, participants, p);
+                    let hi = band_start(nchunks, participants, p + 1);
+                    assert!(lo <= hi, "bands must be ordered");
+                    assert!(hi - lo <= nchunks.div_ceil(participants));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_jobs_leave_idle_lanes_unwoken() {
+        // A 2-chunk job has 2 participants regardless of pool width; it
+        // must complete with only worker 0 woken.
+        let hits: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        run_chunks(2, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! chunk order.
 
 use crate::chunk::chunk_ranges;
-use crate::config::num_threads_for;
+use crate::config::{num_threads_for, num_threads_for_bytes};
 use crate::pool::{run_chunks, SendPtr};
 use std::ops::Range;
 
@@ -31,7 +31,48 @@ where
     M: Fn(usize, usize) -> T + Sync,
     C: Fn(T, T) -> T,
 {
-    let nthreads = num_threads_for(len);
+    reduce_ranges_nthreads(len, num_threads_for(len), identity, map_range, combine)
+}
+
+/// [`parallel_reduce_ranges`] with the chunk count derived from cache
+/// geometry: `bytes_per_item` is the number of bytes one index of `0..len`
+/// traverses (for a row-blocked panel kernel, 8 bytes per column touched),
+/// and each chunk covers at least the byte grain documented on
+/// [`num_threads_for_bytes`].  Deterministic for a fixed
+/// `(len, bytes_per_item, max_threads)` triple.
+pub fn parallel_reduce_ranges_bytes<T, M, C>(
+    len: usize,
+    bytes_per_item: usize,
+    identity: T,
+    map_range: M,
+    combine: C,
+) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    reduce_ranges_nthreads(
+        len,
+        num_threads_for_bytes(len, bytes_per_item),
+        identity,
+        map_range,
+        combine,
+    )
+}
+
+fn reduce_ranges_nthreads<T, M, C>(
+    len: usize,
+    nthreads: usize,
+    identity: T,
+    map_range: M,
+    combine: C,
+) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
     if nthreads <= 1 {
         if len == 0 {
             return identity;

@@ -14,7 +14,10 @@
 //!   communication counts included — so at equal realized step sizes the
 //!   reduce/word counts are exactly those of a controller-less solve.
 //! * The acceptance headline: `Auto` rescues elasticity3d at a requested
-//!   `s = 8` — where `Fixed` breaks down — with no manual warm-up oracle.
+//!   `s = 10` — where `Fixed` breaks down — with no manual warm-up oracle.
+//!   (s = 8 used to be the canonical breaking step; the SIMD Gram kernels'
+//!   split accumulators are accurate enough that s = 8 now sits on the
+//!   knife edge, so the battery pins the decisively deficient s = 10.)
 
 use sparse::{elasticity3d, laplace2d_9pt, Csr};
 use ssgmres::{
@@ -132,7 +135,10 @@ fn auto_reduce_counts_equal_fixed_under_an_equal_step_budget() {
     // Fixed iteration budget (tolerance unreachable): Auto on a healthy
     // problem realizes the same steps as Fixed, so its reduce and word
     // counts must be *exactly* Fixed's — the controller spends nothing.
-    let a = laplace2d_9pt(16, 16);
+    // (The grid is sized so three cycles end well above the convergence
+    // floor — at the floor the last panels go linearly dependent and the
+    // verdict stops being Clean.)
+    let a = laplace2d_9pt(24, 24);
     let b = rhs_ones(&a);
     let run = |policy: StepPolicy| {
         SStepGmres::new(GmresConfig {
@@ -159,14 +165,14 @@ fn auto_reduce_counts_equal_fixed_under_an_equal_step_budget() {
 }
 
 #[test]
-fn auto_rescues_elasticity3d_at_requested_s8_with_no_manual_oracle() {
-    // The acceptance headline.  Premise: Fixed at s = 8 on elasticity3d
+fn auto_rescues_elasticity3d_at_requested_s10_with_no_manual_oracle() {
+    // The acceptance headline.  Premise: Fixed at s = 10 on elasticity3d
     // breaks down in the very first monomial panel and cannot converge.
     let a = elasticity3d(5, 5, 5);
     let b = rhs_ones(&a);
     let config = GmresConfig {
         restart: 32,
-        step_size: 8,
+        step_size: 10,
         tol: 1e-8,
         ortho: OrthoKind::TwoStage { big_panel: 32 },
         basis: BasisStrategy::Monomial,
@@ -175,7 +181,7 @@ fn auto_rescues_elasticity3d_at_requested_s8_with_no_manual_oracle() {
     let fixed = SStepGmres::new(config.clone()).solve_serial(&a, &b).1;
     assert!(
         !fixed.converged && fixed.breakdown.is_some(),
-        "premise: monomial s=8 must break down under Fixed: {fixed:?}"
+        "premise: monomial s=10 must break down under Fixed: {fixed:?}"
     );
     // Auto: same configuration, one flag flipped, no oracle anywhere.
     let (x, auto) = SStepGmres::new(GmresConfig {
@@ -187,11 +193,11 @@ fn auto_rescues_elasticity3d_at_requested_s8_with_no_manual_oracle() {
     assert!(max_err(&x) < 1e-5, "max err {}", max_err(&x));
     assert!(auto.rescues >= 1, "a rescue must have happened");
     assert_eq!(
-        auto.step_history[0], 8,
+        auto.step_history[0], 10,
         "first cycle runs at the requested step"
     );
     assert!(
-        auto.step_history.iter().any(|&s| s < 8),
+        auto.step_history.iter().any(|&s| s < 10),
         "the rescue must have shrunk the step: {:?}",
         auto.step_history
     );
@@ -216,7 +222,7 @@ fn auto_rescue_replays_bitwise_through_scheduled_steps_and_shifts() {
     let b = rhs_ones(&a);
     let config = GmresConfig {
         restart: 32,
-        step_size: 8,
+        step_size: 10,
         tol: 1e-8,
         ortho: OrthoKind::TwoStage { big_panel: 32 },
         basis: BasisStrategy::Monomial,
@@ -248,14 +254,14 @@ fn auto_rescue_replays_bitwise_through_scheduled_steps_and_shifts() {
 fn auto_probes_back_up_to_the_requested_step_after_clean_cycles() {
     // With an unreachable tolerance the solve keeps cycling after the
     // rescue: two clean cycles at the reduced step must regrow the step
-    // (doubling per probe) until the requested s = 8 is reached again —
+    // (doubling per probe) until the requested s = 12 is reached again —
     // and the regrown cycle must complete on the harvested shifts instead
     // of breaking down like the monomial first cycle did.
     let a = elasticity3d(5, 5, 5);
     let b = rhs_ones(&a);
     let r = SStepGmres::new(GmresConfig {
         restart: 16,
-        step_size: 8,
+        step_size: 12,
         tol: 1e-30,
         max_restarts: 8,
         max_iters: 50_000,
@@ -272,9 +278,9 @@ fn auto_probes_back_up_to_the_requested_step_after_clean_cycles() {
         .iter()
         .enumerate()
         .skip(1)
-        .find(|&(i, &s)| s == 8 && r.step_history[i - 1] < 8);
-    let (i, _) =
-        regrown.unwrap_or_else(|| panic!("the step must probe back up to 8: {:?}", r.step_history));
+        .find(|&(i, &s)| s == 12 && r.step_history[i - 1] < 12);
+    let (i, _) = regrown
+        .unwrap_or_else(|| panic!("the step must probe back up to 12: {:?}", r.step_history));
     assert_ne!(
         r.health_history[i].verdict,
         CycleVerdict::Breakdown,
@@ -322,14 +328,14 @@ fn auto_at_step_one_degenerates_to_safe_standard_gmres_panels() {
 #[test]
 fn auto_composes_with_the_adaptive_basis_strategy() {
     // Adaptive re-harvests its own shifts; Auto only manages the step.
-    // Together they must still rescue the elasticity3d s = 8 scenario (the
+    // Together they must still rescue the elasticity3d s = 10 scenario (the
     // adaptive warm-up is monomial, so the first cycle breaks identically)
     // and converge.
     let a = elasticity3d(5, 5, 5);
     let b = rhs_ones(&a);
     let (x, r) = SStepGmres::new(GmresConfig {
         restart: 32,
-        step_size: 8,
+        step_size: 10,
         tol: 1e-8,
         ortho: OrthoKind::TwoStage { big_panel: 32 },
         basis: BasisStrategy::adaptive(),
@@ -349,7 +355,7 @@ fn custom_auto_knobs_are_honored() {
     let b = rhs_ones(&a);
     let r = SStepGmres::new(GmresConfig {
         restart: 16,
-        step_size: 8,
+        step_size: 10,
         tol: 1e-8,
         ortho: OrthoKind::TwoStage { big_panel: 16 },
         basis: BasisStrategy::Monomial,

@@ -301,8 +301,9 @@ fn adaptive_basis_converges_on_the_papers_problem_classes() {
     // monomial basis works, including at step sizes beyond the paper's
     // conservative s = 5 where the monomial basis begins to strain.  (The
     // adaptive warm-up cycle is monomial, so step sizes where even one
-    // monomial panel collapses — elasticity3d at s = 8 — need the warm-up
-    // shift-oracle pattern below instead.)
+    // monomial panel collapses — laplace2d at s = 16, elasticity3d at
+    // s ≥ 9 — need the warm-up shift-oracle pattern below or the
+    // step-shrink controller instead.)
     for (name, a, s) in [
         ("laplace2d_9pt", laplace2d_9pt(16, 16), 5),
         ("laplace2d_9pt", laplace2d_9pt(16, 16), 8),
@@ -325,15 +326,18 @@ fn adaptive_basis_converges_on_the_papers_problem_classes() {
 
 #[test]
 fn warmup_shift_oracle_rescues_step_sizes_the_monomial_basis_cannot_run() {
-    // elasticity3d at s = 8: the very first monomial matrix-powers panel is
-    // numerically rank deficient, so both the plain solve and the adaptive
-    // warm-up die immediately.  Harvesting shifts from a short s = 4
-    // warm-up cycle (SolveResult::last_harvest) and running fixed Newton
-    // shifts at s = 8 converges — the Newton basis opens a step size the
-    // monomial basis cannot reach at all.
-    let a = elasticity3d(5, 5, 5);
+    // laplace2d_9pt at s = 16: the monomial matrix-powers panel is
+    // decisively rank deficient, so the plain solve dies.  Harvesting
+    // shifts from a short s = 4 warm-up cycle (SolveResult::last_harvest)
+    // and running fixed Newton shifts at s = 16 converges — the Newton
+    // basis opens a step size the monomial basis cannot reach at all.
+    // (The Laplace spectrum is spread enough that the harvest keeps a full
+    // complement of distinct shifts; elasticity3d's clustered Ritz values
+    // dedupe down to a handful, which is the step-shrink controller's
+    // territory — see tests/controller_equivalence.rs.)
+    let a = laplace2d_9pt(16, 16);
     let b = rhs_ones(&a);
-    let s = 8;
+    let s = 16;
     let monomial = SStepGmres::new(GmresConfig {
         restart: 32,
         step_size: s,
@@ -346,7 +350,7 @@ fn warmup_shift_oracle_rescues_step_sizes_the_monomial_basis_cannot_run() {
     .1;
     assert!(
         !monomial.converged && monomial.breakdown.is_some(),
-        "premise: monomial s=8 must break down on elasticity3d: {monomial:?}"
+        "premise: monomial s=16 must break down on laplace2d_9pt(16,16): {monomial:?}"
     );
     let warmup = SStepGmres::new(GmresConfig {
         restart: 24,
