@@ -58,7 +58,7 @@ pub use timing::CycleTiming;
 // `distsim` directly.
 pub use distsim::{
     FaultEvent, FaultKind, FaultPlan, FaultRates, FaultyComm, GuardContext, GuardCounts,
-    GuardEvent, GuardPolicy, Target,
+    GuardEvent, GuardPolicy, SketchConfig, Target,
 };
 
 // Re-export the orthogonalization selector (and the per-stage fallback

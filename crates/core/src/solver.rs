@@ -6,11 +6,11 @@ use crate::hessenberg::HessenbergRecovery;
 use crate::precond::{Identity, Preconditioner};
 use crate::shifts;
 use crate::timing::{CycleClock, CycleTiming, Phase};
-use blockortho::{make_orthogonalizer, FallbackEvent, OrthoKind};
+use blockortho::{make_orthogonalizer_with_sketch, FallbackEvent, OrthoKind};
 use dense::Matrix;
 use distsim::{
     fault, CommStatsSnapshot, Communicator, DistCsr, DistMultiVector, GuardContext, GuardCounts,
-    GuardEvent, GuardPolicy, SerialComm,
+    GuardEvent, GuardPolicy, SerialComm, SketchConfig,
 };
 use sparse::{block_row_partition, Csr, RowPartition, RowSource};
 use std::sync::Arc;
@@ -44,6 +44,11 @@ pub struct GmresConfig {
     /// [`GuardContext`] is allocated and every collective is bitwise the
     /// unguarded operation.
     pub guards: GuardPolicy,
+    /// Sketch operator configuration used by the sketched orthogonalization
+    /// kinds ([`OrthoKind::RandCholQr`], [`OrthoKind::TwoStageSketched`]);
+    /// ignored by the unsketched kinds.  Fixing the seed makes sketched
+    /// runs bitwise replayable.
+    pub sketch: SketchConfig,
 }
 
 impl Default for GmresConfig {
@@ -58,6 +63,7 @@ impl Default for GmresConfig {
             basis: BasisStrategy::Monomial,
             step_policy: StepPolicy::Fixed,
             guards: GuardPolicy::default(),
+            sketch: SketchConfig::default(),
         }
     }
 }
@@ -375,7 +381,8 @@ impl SStepGmres {
             }
             basis.set_col_from_global_local(0, &residual);
             basis.scale_col(0, 1.0 / gamma);
-            let mut ortho = make_orthogonalizer(self.config.ortho, m + 1);
+            let mut ortho =
+                make_orthogonalizer_with_sketch(self.config.ortho, m + 1, self.config.sketch);
             let mut hess = HessenbergRecovery::new(m);
             // Submit column 0 as the first (single-column) panel so every
             // scheme sees its panels starting at column 0.

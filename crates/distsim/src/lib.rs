@@ -55,6 +55,7 @@ pub mod fault;
 pub mod guard;
 pub mod multivector;
 pub mod serial;
+pub mod sketch;
 pub mod stats;
 pub mod thread;
 
@@ -67,5 +68,6 @@ pub use fault::{
 pub use guard::{GuardContext, GuardCounts, GuardEvent, GuardPolicy, Screen};
 pub use multivector::DistMultiVector;
 pub use serial::SerialComm;
+pub use sketch::{SketchConfig, SketchOp, SKETCH_NNZ_PER_ROW};
 pub use stats::{CommStats, CommStatsSnapshot, PeerTally};
 pub use thread::{run_ranks, ThreadComm};

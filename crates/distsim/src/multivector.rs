@@ -16,6 +16,7 @@
 
 use crate::comm::Communicator;
 use crate::guard::{GuardContext, Screen};
+use crate::sketch::SketchOp;
 use dense::{MatView, Matrix};
 use std::ops::Range;
 use std::sync::Arc;
@@ -259,6 +260,57 @@ impl DistMultiVector {
         let c = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
         let g = Matrix::from_col_major(s, s, buf[k * s..].to_vec());
         (c, g)
+    }
+
+    /// Sketched panel `S·V` of the global columns `cols`.  **1 global
+    /// reduce** of [`SketchOp::reduce_words`]`(s)` words (the slot table —
+    /// Θ(c·s)).  The result is replicated and, because every slot of the
+    /// exchange has exactly one owning rank, **bitwise identical across
+    /// rank and thread counts** for a fixed seed.
+    pub fn sketch(&self, op: &SketchOp, cols: Range<usize>) -> Matrix {
+        assert_eq!(
+            op.global_rows(),
+            self.global_rows,
+            "sketch operator was realized for a different row dimension"
+        );
+        let s = cols.end - cols.start;
+        let _span = trace::span2("mv", "sketch", "c", op.rows() as u64, "s", s as u64);
+        let mut buf = vec![0.0; op.slots() * s];
+        op.fill_slots(&mut buf, &self.local.cols(cols), self.row_offset);
+        self.reduce(&mut buf, Screen::None);
+        op.combine_slots(&buf, s)
+    }
+
+    /// Fused projection coefficients `P = Q_prevᵀ·V_new` **and** sketched
+    /// panel `S·V_new` with a **single global reduce** of
+    /// `k·s + `[`SketchOp::reduce_words`]`(s)` words — the one-reduce
+    /// fusion the sketched first-stage schemes are built on, replacing
+    /// [`proj_and_gram`]'s Gram block with the sketch slot table.
+    ///
+    /// [`proj_and_gram`]: Self::proj_and_gram
+    pub fn sketch_and_proj(
+        &self,
+        op: &SketchOp,
+        prev: Range<usize>,
+        new: Range<usize>,
+    ) -> (Matrix, Matrix) {
+        assert!(prev.end <= new.start, "prev must precede new");
+        assert_eq!(
+            op.global_rows(),
+            self.global_rows,
+            "sketch operator was realized for a different row dimension"
+        );
+        let k = prev.end - prev.start;
+        let s = new.end - new.start;
+        let _span = trace::span2("mv", "sketch_and_proj", "k", k as u64, "s", s as u64);
+        let p_local = dense::gemm_tn(&self.local.cols(prev), &self.local.cols(new.clone()));
+        let mut buf = vec![0.0; k * s + op.slots() * s];
+        buf[..k * s].copy_from_slice(p_local.data());
+        op.fill_slots(&mut buf[k * s..], &self.local.cols(new), self.row_offset);
+        self.reduce(&mut buf, Screen::None);
+        let p = Matrix::from_col_major(k, s, buf[..k * s].to_vec());
+        let sv = op.combine_slots(&buf[k * s..], s);
+        (p, sv)
     }
 
     /// Triangular normalization `V ← V·R⁻¹` of the columns `cols` (local,

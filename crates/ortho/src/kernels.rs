@@ -17,6 +17,7 @@
 //! | [`bcgs_pip`] | 1 | 3 (fused proj+Gram read, update, TRSM) |
 //! | [`bcgs_pip2_fused`] | 2 | 5 (vs 6 for two `bcgs_pip` calls) |
 //! | [`columnwise_cgs2`] | 3·s | O(s) column sweeps |
+//! | sketched pre-conditioning (`ortho::sketched`) | 1 (sketch slots only) | 3 (sketch read, update, TRSM) |
 //!
 //! The pass savings of [`bcgs_pip2_fused`] hinge on
 //! [`DistMultiVector::update_and_gram`] being a *genuine* single

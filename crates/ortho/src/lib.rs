@@ -13,6 +13,8 @@
 //! | BCGS-PIP2 (the paper's new one-stage variant) | 2 | [`bcgs_pip2`] |
 //! | **Two-stage** (the paper's contribution) | 1 (+1 per `bs` steps) | [`two_stage`] |
 //! | column-wise CGS2 / MGS (standard GMRES) | 3 per step / `j` per step | [`cgs`] |
+//! | Randomized CholQR (sketched, arXiv 2503.16717) | 2 | [`sketched`] |
+//! | Two-stage with sketched first stage | 1 (+1 per `bs` steps) | [`two_stage`] |
 //!
 //! The low-level building blocks (CholQR, CholQR2, shifted CholQR, BCGS,
 //! BCGS-PIP, column-wise kernels) live in [`kernels`]; each higher-level
@@ -34,6 +36,7 @@ pub mod cgs;
 pub mod dd;
 pub mod error;
 pub mod kernels;
+pub mod sketched;
 pub mod traits;
 pub mod two_stage;
 
@@ -44,11 +47,12 @@ pub use error::OrthoError;
 pub use kernels::{
     bcgs, bcgs_pip, cholqr, cholqr2, columnwise_cgs2, mixed_precision_cholqr, shifted_cholqr,
 };
+pub use sketched::RandCholQr;
 pub use traits::{
-    distinct_fallback_episodes, make_orthogonalizer, BlockOrthogonalizer, FallbackEvent,
-    FallbackStage, OrthoKind,
+    distinct_fallback_episodes, make_orthogonalizer, make_orthogonalizer_with_sketch,
+    BlockOrthogonalizer, FallbackEvent, FallbackStage, OrthoKind,
 };
-pub use two_stage::TwoStage;
+pub use two_stage::{FirstStage, TwoStage};
 
 /// Convenience: orthogonalize an owned dense matrix with a given scheme on a
 /// serial communicator, returning `(Q, R)`.
@@ -98,6 +102,8 @@ mod tests {
             OrthoKind::TwoStage { big_panel: 6 },
             OrthoKind::Cgs2,
             OrthoKind::Mgs,
+            OrthoKind::RandCholQr,
+            OrthoKind::TwoStageSketched { big_panel: 6 },
         ] {
             let (q, r) = orthogonalize_matrix(kind, &v, 3).unwrap();
             let err = dense::orthogonality_error(&q.view());

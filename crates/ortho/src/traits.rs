@@ -15,6 +15,13 @@ pub enum FallbackStage {
     /// The delayed big-panel kernel (the two-stage scheme's second stage,
     /// flushing `bs` accumulated columns at once).
     BigPanelFlush,
+    /// The sketched per-panel kernel (`RandCholQr` or the two-stage
+    /// scheme's sketched first stage) found the sketched panel numerically
+    /// rank deficient and took the shifted-CholQR remedial path.  Kept
+    /// distinct from [`PanelPreprocess`](Self::PanelPreprocess) so
+    /// sketched and CholQR-shift remediations are never conflated in the
+    /// episode accounting.
+    SketchPrecondition,
 }
 
 /// One remedial (shifted-CholQR) episode a scheme had to take because the
@@ -38,18 +45,26 @@ pub struct FallbackEvent {
 /// that already needed a first-stage fallback in the same cycle is the same
 /// underlying ill-conditioned panel surfacing twice, not a new incident —
 /// counting both would double-count the episode across stages.  First-stage
-/// events always count; second-stage events count only when no first-stage
+/// events — plain panel pre-processing and sketched pre-conditioning alike
+/// — always count; second-stage events count only when no first-stage
 /// event lies inside their range.
 pub fn distinct_fallback_episodes(events: &[FallbackEvent]) -> usize {
+    let first_stage = |stage: FallbackStage| {
+        matches!(
+            stage,
+            FallbackStage::PanelPreprocess | FallbackStage::SketchPrecondition
+        )
+    };
     events
         .iter()
-        .filter(|e| match e.stage {
-            FallbackStage::PanelPreprocess => true,
-            FallbackStage::BigPanelFlush => !events.iter().any(|p| {
-                p.stage == FallbackStage::PanelPreprocess
-                    && e.cols.start <= p.cols.start
-                    && p.cols.end <= e.cols.end
-            }),
+        .filter(|e| {
+            if first_stage(e.stage) {
+                true
+            } else {
+                !events.iter().any(|p| {
+                    first_stage(p.stage) && e.cols.start <= p.cols.start && p.cols.end <= e.cols.end
+                })
+            }
         })
         .count()
 }
@@ -154,6 +169,20 @@ pub enum OrthoKind {
     Cgs2,
     /// Column-wise modified Gram–Schmidt (reference only).
     Mgs,
+    /// Randomized CholQR (arXiv 2503.16717): sketch-precondition each
+    /// panel (factor the sketched panel, apply `R⁻¹`), then one CholQR
+    /// polish.  2 reduces per panel like [`BcgsPip2`](Self::BcgsPip2), but
+    /// the panel factor comes from a backward-stable QR of the small
+    /// sketch instead of a κ²-squaring Gram Cholesky.
+    RandCholQr,
+    /// The two-stage scheme with the sketched first stage
+    /// (`FirstStage::Sketched`): same 1 reduce per panel + 1 per big
+    /// panel, with the first-stage conditioning fix coming from the
+    /// sketch instead of a Gram Cholesky.
+    TwoStageSketched {
+        /// Second-stage block size `bs` in columns (`s ≤ bs ≤ m`).
+        big_panel: usize,
+    },
 }
 
 impl OrthoKind {
@@ -167,15 +196,29 @@ impl OrthoKind {
             OrthoKind::TwoStage { .. } => "two-stage",
             OrthoKind::Cgs2 => "cgs2",
             OrthoKind::Mgs => "mgs",
+            OrthoKind::RandCholQr => "rand-cholqr",
+            OrthoKind::TwoStageSketched { .. } => "two-stage-sketch",
         }
     }
 }
 
-/// Construct the orthogonalizer for `kind`.
+/// Construct the orthogonalizer for `kind` with the default
+/// [`SketchConfig`](distsim::SketchConfig) for the sketched kinds.
 ///
 /// `total_cols` is the total number of basis columns of a restart cycle
 /// (`m + 1`); delayed schemes need it to size their bookkeeping.
 pub fn make_orthogonalizer(kind: OrthoKind, total_cols: usize) -> Box<dyn BlockOrthogonalizer> {
+    make_orthogonalizer_with_sketch(kind, total_cols, distsim::SketchConfig::default())
+}
+
+/// [`make_orthogonalizer`] with an explicit sketch configuration for the
+/// sketched kinds (`RandCholQr`, `TwoStageSketched`); the unsketched kinds
+/// ignore it.  The solver passes `GmresConfig::sketch` through here.
+pub fn make_orthogonalizer_with_sketch(
+    kind: OrthoKind,
+    total_cols: usize,
+    sketch: distsim::SketchConfig,
+) -> Box<dyn BlockOrthogonalizer> {
     match kind {
         OrthoKind::Bcgs2CholQr2 => Box::new(crate::bcgs2::Bcgs2CholQr2::new()),
         OrthoKind::Bcgs2Columnwise => Box::new(crate::bcgs2::Bcgs2Columnwise::new()),
@@ -186,6 +229,10 @@ pub fn make_orthogonalizer(kind: OrthoKind, total_cols: usize) -> Box<dyn BlockO
         }
         OrthoKind::Cgs2 => Box::new(crate::cgs::Cgs2Columnwise::new()),
         OrthoKind::Mgs => Box::new(crate::cgs::MgsColumnwise::new()),
+        OrthoKind::RandCholQr => Box::new(crate::sketched::RandCholQr::new(sketch, total_cols)),
+        OrthoKind::TwoStageSketched { big_panel } => Box::new(
+            crate::two_stage::TwoStage::with_sketched_first_stage(big_panel, total_cols, sketch),
+        ),
     }
 }
 
@@ -203,6 +250,8 @@ mod tests {
             OrthoKind::TwoStage { big_panel: 60 },
             OrthoKind::Cgs2,
             OrthoKind::Mgs,
+            OrthoKind::RandCholQr,
+            OrthoKind::TwoStageSketched { big_panel: 60 },
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
@@ -258,9 +307,41 @@ mod tests {
             OrthoKind::TwoStage { big_panel: 10 },
             OrthoKind::Cgs2,
             OrthoKind::Mgs,
+            OrthoKind::RandCholQr,
+            OrthoKind::TwoStageSketched { big_panel: 10 },
         ] {
             let o = make_orthogonalizer(kind, 21);
             assert!(!o.name().is_empty());
         }
+    }
+
+    #[test]
+    fn sketch_precondition_episodes_count_like_first_stage_events() {
+        let sketch = |cols: Range<usize>| FallbackEvent {
+            stage: FallbackStage::SketchPrecondition,
+            cols,
+            shift: 1e-12,
+        };
+        let second = |cols: Range<usize>| FallbackEvent {
+            stage: FallbackStage::BigPanelFlush,
+            cols,
+            shift: 1e-10,
+        };
+        // Independent sketched episodes all count.
+        assert_eq!(
+            distinct_fallback_episodes(&[sketch(5..10), sketch(10..15)]),
+            2
+        );
+        // A big-panel flush over a range containing a sketched remediation
+        // is the same episode surfacing in the second stage, not a new one.
+        assert_eq!(
+            distinct_fallback_episodes(&[sketch(5..10), second(0..20)]),
+            1
+        );
+        // A flush elsewhere is a distinct episode.
+        assert_eq!(
+            distinct_fallback_episodes(&[sketch(5..10), second(20..40)]),
+            2
+        );
     }
 }

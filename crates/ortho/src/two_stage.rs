@@ -24,10 +24,24 @@
 
 use crate::error::OrthoError;
 use crate::kernels::bcgs_pip;
+use crate::sketched::{PreprocessOutcome, SketchState};
 use crate::traits::{BlockOrthogonalizer, FallbackEvent, FallbackStage};
 use dense::Matrix;
-use distsim::DistMultiVector;
+use distsim::{DistMultiVector, SketchConfig};
 use std::ops::Range;
+
+/// Which kernel the two-stage scheme uses for its per-panel first stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstStage {
+    /// Plain BCGS-PIP pre-processing (the paper's scheme): the panel factor
+    /// comes from the Cholesky factorization of the panel's Gram matrix.
+    Pip,
+    /// Sketch-preconditioned pre-processing (see [`crate::sketched`]): the
+    /// panel factor comes from a Householder QR of the sketched panel, so
+    /// the stage survives panel condition numbers far beyond the CholQR
+    /// crossover at the same 1 reduce per panel.
+    Sketched(SketchConfig),
+}
 
 /// The two-stage block orthogonalizer.
 #[derive(Debug)]
@@ -47,6 +61,11 @@ pub struct TwoStage {
     /// Shifted-CholQR fallbacks taken (either stage) since construction or
     /// the last reset, with the stage, panel, and shift magnitude of each.
     events: Vec<FallbackEvent>,
+    /// First-stage kernel selector.
+    first_stage: FirstStage,
+    /// Sketching state, realized lazily at the first panel when
+    /// `first_stage` is [`FirstStage::Sketched`].
+    sketch_state: Option<SketchState>,
 }
 
 impl TwoStage {
@@ -61,7 +80,28 @@ impl TwoStage {
             processed_end: 0,
             coeffs: Matrix::identity(total_cols),
             events: Vec::new(),
+            first_stage: FirstStage::Pip,
+            sketch_state: None,
         }
+    }
+
+    /// [`TwoStage::new`] with the sketch-preconditioned first stage: same
+    /// reduce schedule (1 per panel + 1 per big panel), with the per-panel
+    /// conditioning fix coming from a backward-stable QR of the sketched
+    /// panel instead of a Gram Cholesky.
+    pub fn with_sketched_first_stage(
+        big_panel: usize,
+        total_cols: usize,
+        sketch: SketchConfig,
+    ) -> Self {
+        let mut scheme = Self::new(big_panel, total_cols);
+        scheme.first_stage = FirstStage::Sketched(sketch);
+        scheme
+    }
+
+    /// The configured first-stage kernel.
+    pub fn first_stage(&self) -> FirstStage {
+        self.first_stage
     }
 
     /// The configured second-stage block size `bs`.
@@ -115,6 +155,13 @@ impl TwoStage {
             }
             Err(other) => return Err(other),
         };
+        // The flush rewrote the stored big-panel columns as
+        // Q_bp = (Q̂_bp − Q_prev·T_prev)·T_bp⁻¹; mirror the update on the
+        // replicated sketch so later sketched panels project correctly.
+        if let Some(state) = &mut self.sketch_state {
+            let base = state.block(bp.clone());
+            state.refresh_block(&base, prev.clone(), bp.clone(), &t_prev, &t_bp);
+        }
         // R updates (Fig. 5 lines 18-19):
         //   R[prev, bp] += T_prev · R[bp, bp]
         //   R[bp, bp]    = T_bp  · R[bp, bp]
@@ -195,7 +242,10 @@ fn extract_block(r: &Matrix, rows: Range<usize>, cols: Range<usize>) -> Matrix {
 
 impl BlockOrthogonalizer for TwoStage {
     fn name(&self) -> &'static str {
-        "two-stage BCGS-PIP"
+        match self.first_stage {
+            FirstStage::Pip => "two-stage BCGS-PIP",
+            FirstStage::Sketched(_) => "two-stage BCGS-PIP (sketched first stage)",
+        }
     }
 
     fn orthogonalize_panel(
@@ -224,37 +274,83 @@ impl BlockOrthogonalizer for TwoStage {
             "cols",
             (new.end - new.start) as u64,
         );
-        let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
-            Ok(factors) => factors,
-            Err(OrthoError::CholeskyBreakdown { .. }) => {
-                trace::instant2(
-                    "ortho",
-                    "fallback_stage1",
-                    "start",
-                    new.start as u64,
-                    "cols",
-                    (new.end - new.start) as u64,
-                );
-                let (p, r_new, shift) = shifted_bcgs_pip2(basis, prev.clone(), new.clone())
-                    .map_err(|e| match e {
-                        OrthoError::CholeskyBreakdown { pivot, .. } => {
-                            OrthoError::CholeskyBreakdown {
-                                context: "two-stage first stage (panel pre-processing)",
-                                pivot,
-                            }
-                        }
-                        other => other,
-                    })?;
-                self.events.push(FallbackEvent {
-                    stage: FallbackStage::PanelPreprocess,
-                    cols: new.clone(),
-                    shift,
-                });
-                (p, r_new)
+        match self.first_stage {
+            FirstStage::Pip => {
+                let (p, r_new) = match bcgs_pip(basis, prev.clone(), new.clone()) {
+                    Ok(factors) => factors,
+                    Err(OrthoError::CholeskyBreakdown { .. }) => {
+                        trace::instant2(
+                            "ortho",
+                            "fallback_stage1",
+                            "start",
+                            new.start as u64,
+                            "cols",
+                            (new.end - new.start) as u64,
+                        );
+                        let (p, r_new, shift) = shifted_bcgs_pip2(basis, prev.clone(), new.clone())
+                            .map_err(|e| match e {
+                                OrthoError::CholeskyBreakdown { pivot, .. } => {
+                                    OrthoError::CholeskyBreakdown {
+                                        context: "two-stage first stage (panel pre-processing)",
+                                        pivot,
+                                    }
+                                }
+                                other => other,
+                            })?;
+                        self.events.push(FallbackEvent {
+                            stage: FallbackStage::PanelPreprocess,
+                            cols: new.clone(),
+                            shift,
+                        });
+                        (p, r_new)
+                    }
+                    Err(other) => return Err(other),
+                };
+                crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
             }
-            Err(other) => return Err(other),
-        };
-        crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
+            FirstStage::Sketched(config) => {
+                let total_cols = self.total_cols;
+                let state = self.sketch_state.get_or_insert_with(|| {
+                    SketchState::new(&config, basis.global_rows(), total_cols)
+                });
+                match state.preprocess(basis, prev.clone(), new.clone()) {
+                    PreprocessOutcome::Factored { p1, r_s } => {
+                        crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p1, &r_s);
+                    }
+                    PreprocessOutcome::RankDeficient { sv, .. } => {
+                        // The raw panel lost full rank even under the
+                        // sketch's bounded distortion: take the shifted
+                        // remedial path on the raw columns and tag the
+                        // episode with the sketch stage.
+                        trace::instant2(
+                            "ortho",
+                            "fallback_stage1",
+                            "start",
+                            new.start as u64,
+                            "cols",
+                            (new.end - new.start) as u64,
+                        );
+                        let (p, r_new, shift) = shifted_bcgs_pip2(basis, prev.clone(), new.clone())
+                            .map_err(|e| match e {
+                                OrthoError::CholeskyBreakdown { pivot, .. } => {
+                                    OrthoError::CholeskyBreakdown {
+                                        context: "two-stage sketched first stage",
+                                        pivot,
+                                    }
+                                }
+                                other => other,
+                            })?;
+                        state.refresh_block(&sv, prev.clone(), new.clone(), &p, &r_new);
+                        crate::bcgs_pip2::write_block(r, prev.start, new.clone(), &p, &r_new);
+                        self.events.push(FallbackEvent {
+                            stage: FallbackStage::SketchPrecondition,
+                            cols: new.clone(),
+                            shift,
+                        });
+                    }
+                }
+            }
+        }
         self.processed_end = new.end;
         // Close the first-stage span before a possible big-panel flush, so
         // stage-2 time is not attributed to the panel that triggered it.
@@ -289,6 +385,9 @@ impl BlockOrthogonalizer for TwoStage {
         self.processed_end = 0;
         self.coeffs = Matrix::identity(self.total_cols);
         self.events.clear();
+        if let Some(state) = &mut self.sketch_state {
+            state.reset();
+        }
     }
 }
 
@@ -527,6 +626,139 @@ mod tests {
         scheme.reset();
         assert!(scheme.fallback_events().is_empty());
         assert_eq!(scheme.fallback_count(), 0);
+    }
+
+    fn run_sketched(v: &Matrix, panel: usize, bs: usize) -> (Matrix, Matrix, TwoStage) {
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(v.ncols(), v.ncols());
+        let mut scheme =
+            TwoStage::with_sketched_first_stage(bs, v.ncols(), distsim::SketchConfig::default());
+        let mut start = 0;
+        while start < v.ncols() {
+            let end = (start + panel).min(v.ncols());
+            scheme
+                .orthogonalize_panel(&mut basis, start..end, &mut r)
+                .unwrap();
+            start = end;
+        }
+        scheme.finish(&mut basis, &mut r).unwrap();
+        (basis.local().clone(), r, scheme)
+    }
+
+    #[test]
+    fn sketched_first_stage_orthogonality_and_reconstruction() {
+        let v = test_matrix(600, 16);
+        for bs in [4, 8, 16] {
+            let (q, r, _) = run_sketched(&v, 4, bs);
+            let err = orthogonality_error(&q.view());
+            assert!(err < 1e-12, "bs = {bs}: orthogonality error {err}");
+            let back = dense::gemm_nn(&q, &r);
+            for j in 0..16 {
+                for i in 0..600 {
+                    assert!(
+                        (back[(i, j)] - v[(i, j)]).abs() < 1e-10 * v.max_abs(),
+                        "bs = {bs}: reconstruction failed at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketched_first_stage_keeps_the_plain_reduce_schedule() {
+        // The sketched first stage must not change the scheme's headline:
+        // 1 fused reduce per panel + 1 per big-panel flush.
+        let v = test_matrix(500, 20);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(20, 20);
+        let mut scheme =
+            TwoStage::with_sketched_first_stage(20, 20, distsim::SketchConfig::default());
+        let before = basis.comm().stats().snapshot();
+        for p in 0..4 {
+            scheme
+                .orthogonalize_panel(&mut basis, p * 5..(p + 1) * 5, &mut r)
+                .unwrap();
+        }
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let delta = basis.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 5, "4 panels + 1 flush, same as plain");
+    }
+
+    #[test]
+    fn sketched_first_stage_survives_kappa_that_forces_plain_fallbacks() {
+        // At kappa 1e10 the plain first stage takes the shifted remedial
+        // path (`first_stage_fallback_records_stage_panel_and_shift`
+        // above); the sketched first stage absorbs the same panel with
+        // zero episodes at the same reduce count.
+        let v = testmat::logscaled_matrix(400, 8, 1e10, 7);
+        let (q, _, scheme) = run_sketched(&v, 8, 8);
+        assert!(orthogonality_error(&q.view()) < 1e-12);
+        assert_eq!(
+            scheme.fallback_count(),
+            0,
+            "sketched first stage must not fall back at kappa 1e10"
+        );
+        let (_, _, plain) = run(&v, 8, 8);
+        assert!(
+            plain.fallback_count() > 0,
+            "plain first stage is expected to fall back on this panel"
+        );
+    }
+
+    #[test]
+    fn sketched_stored_basis_coeffs_express_preprocessed_columns() {
+        // The stage-2 bookkeeping must stay correct when stage 1 is
+        // sketched: coeffs reproduce the pre-flush stored columns.  Unlike
+        // the plain first stage, the sketched pre-processing leaves columns
+        // well conditioned but *not* near-orthonormal, so the flush factors
+        // are far from identity — exactly the case the bookkeeping exists
+        // for.  Use 13 total columns and supply 12 so the capture happens
+        // before `finish` runs the (only) flush.
+        let v = test_matrix(300, 13);
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+        let mut r = Matrix::zeros(13, 13);
+        let mut scheme =
+            TwoStage::with_sketched_first_stage(13, 13, distsim::SketchConfig::default());
+        for p in 0..3 {
+            scheme
+                .orthogonalize_panel(&mut basis, p * 4..(p + 1) * 4, &mut r)
+                .unwrap();
+        }
+        let pre = basis.local().clone();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        let coeffs = scheme.stored_basis_coeffs().unwrap();
+        let reproduced = dense::gemm_nn(basis.local(), coeffs);
+        for j in 0..12 {
+            for i in 0..300 {
+                assert!(
+                    (reproduced[(i, j)] - pre[(i, j)]).abs() < 1e-9,
+                    "column {j} not reproduced at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketched_reset_clears_sketch_state_for_a_new_cycle() {
+        let v = test_matrix(200, 8);
+        let (_, _, mut scheme) = run_sketched(&v, 4, 8);
+        scheme.reset();
+        assert!(scheme.fallback_events().is_empty());
+        // Reuse across a cycle with a *different* basis: stale sketch
+        // state would poison the projections.
+        let w = test_matrix(200, 8).add(&Matrix::from_fn(200, 8, |i, j| {
+            ((i * 7 + j) % 5) as f64 * 0.21
+        }));
+        let mut basis = DistMultiVector::from_matrix(SerialComm::new(), w.clone());
+        let mut r = Matrix::zeros(8, 8);
+        scheme
+            .orthogonalize_panel(&mut basis, 0..4, &mut r)
+            .unwrap();
+        scheme
+            .orthogonalize_panel(&mut basis, 4..8, &mut r)
+            .unwrap();
+        scheme.finish(&mut basis, &mut r).unwrap();
+        assert!(orthogonality_error(&basis.local().cols(0..8)) < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,38 @@ pub enum SchemeKind {
         /// Second-stage block size.
         bs: usize,
     },
+    /// Randomized CholQR (the sketched one-stage scheme): one fused
+    /// sketch-and-projection reduce plus one BCGS-PIP polish per panel.
+    /// Same 2 reduces per panel as BCGS-PIP2; the first reduce carries the
+    /// extra `rows·nnz·s` sketch-slot words (see [`sketch_reduce_words`]).
+    RandCholQr {
+        /// Sketch rows `c` of the realized operator
+        /// (`SketchOp::rows()`, i.e. `rows_per_col · (m + 1)`).
+        rows: usize,
+        /// Nonzero samples per sketch row (`SKETCH_NNZ_PER_ROW`).
+        nnz: usize,
+    },
+    /// The two-stage scheme with the sketched first stage: the per-panel
+    /// reduce is the fused sketch-and-projection instead of the fused
+    /// Gram; the big-panel flush is unchanged.  Same reduce *count* as
+    /// [`TwoStage`](Self::TwoStage).
+    TwoStageSketched {
+        /// Second-stage block size.
+        bs: usize,
+        /// Sketch rows `c` of the realized operator.
+        rows: usize,
+        /// Nonzero samples per sketch row.
+        nnz: usize,
+    },
+}
+
+/// Words one sketched-panel allreduce carries for an `s`-column panel over
+/// a sketch with `rows` rows of `nnz` samples each: the slot-exchange
+/// payload is one word per (sketch row, sample, panel column).  Mirrors
+/// `SketchOp::reduce_words` in `distsim` exactly — the join is pinned by
+/// `tests/comm_volume_validation.rs`.
+pub fn sketch_reduce_words(rows: usize, nnz: usize, s: usize) -> usize {
+    rows * nnz * s
 }
 
 impl SchemeKind {
@@ -32,6 +64,8 @@ impl SchemeKind {
             SchemeKind::Bcgs2CholQr2 => "s-step + BCGS2-CholQR2",
             SchemeKind::BcgsPip2 => "s-step + BCGS-PIP2",
             SchemeKind::TwoStage { .. } => "s-step + Two-stage",
+            SchemeKind::RandCholQr { .. } => "s-step + RandCholQR",
+            SchemeKind::TwoStageSketched { .. } => "s-step + Two-stage (sketched)",
         }
     }
 }
@@ -76,6 +110,28 @@ fn pip_cost(costs: &KernelCosts<'_>, k: usize, s: usize) -> OrthoBreakdown {
         vector_updates: costs.gemm_update(k, s) + costs.trsm(s),
         small_work: costs.small_factorization(s),
         allreduce: costs.allreduce((k + s) * s),
+        reduces: 1,
+    }
+}
+
+/// Cost of the sketched pre-conditioning of a panel of `s` columns against
+/// `k` previous columns: one allreduce of the `rows·nnz·s` sketch slots,
+/// the replicated sketch-space least squares + Householder QR of the small
+/// sketched panel (the projection coefficients are computed *locally* from
+/// the replicated `S·Q`, so the reduce carries no `k·s` projection block),
+/// and the projection update + triangular scaling of the panel.
+fn sketch_precondition_cost(
+    costs: &KernelCosts<'_>,
+    k: usize,
+    s: usize,
+    rows: usize,
+    nnz: usize,
+) -> OrthoBreakdown {
+    OrthoBreakdown {
+        dot_products: 0.0,
+        vector_updates: costs.gemm_update(k, s) + costs.trsm(s),
+        small_work: costs.small_factorization(s),
+        allreduce: costs.allreduce(sketch_reduce_words(rows, nnz, s)),
         reduces: 1,
     }
 }
@@ -168,6 +224,32 @@ pub fn ortho_cycle_cost(
                 }
             }
         }
+        SchemeKind::RandCholQr { rows, nnz } => {
+            let panels = m / s;
+            for j in 0..panels {
+                let k = j * s + 1;
+                // Sketched pre-conditioning + one BCGS-PIP polish.
+                acc.add(&sketch_precondition_cost(costs, k, s, rows, nnz));
+                acc.add(&pip_cost(costs, k, s));
+            }
+        }
+        SchemeKind::TwoStageSketched { bs, rows, nnz } => {
+            let panels = m / s;
+            let mut big_start = 0usize;
+            let mut pending = 1usize;
+            for j in 0..panels {
+                let k = j * s + 1;
+                // First stage: sketched pre-conditioning of the panel.
+                acc.add(&sketch_precondition_cost(costs, k, s, rows, nnz));
+                pending += s;
+                if pending > bs || j == panels - 1 {
+                    let width = pending;
+                    acc.add(&pip_cost(costs, big_start, width));
+                    big_start += width;
+                    pending = 0;
+                }
+            }
+        }
     }
     acc
 }
@@ -180,11 +262,12 @@ pub fn ortho_reduce_count(scheme: SchemeKind, m: usize, s: usize) -> usize {
         SchemeKind::StandardCgs2 => 3 * m,
         SchemeKind::Bcgs2CholQr2 => 5 * (m / s),
         SchemeKind::BcgsPip2 => 2 * (m / s),
-        SchemeKind::TwoStage { bs } => {
+        SchemeKind::TwoStage { bs } | SchemeKind::TwoStageSketched { bs, .. } => {
             let panels = m / s;
             let big_panels = m.div_ceil(bs); // ceil
             panels + big_panels
         }
+        SchemeKind::RandCholQr { .. } => 2 * (m / s),
     }
 }
 
@@ -239,6 +322,28 @@ pub fn ortho_cycle_words(scheme: SchemeKind, m: usize, s: usize) -> usize {
                 }
             }
         }
+        SchemeKind::RandCholQr { rows, nnz } => {
+            for j in 0..m / s {
+                let k = j * s + 1;
+                // Sketch-only pre-conditioning reduce + fused polish.
+                words += sketch_reduce_words(rows, nnz, s);
+                words += (k + s) * s;
+            }
+        }
+        SchemeKind::TwoStageSketched { bs, rows, nnz } => {
+            let panels = m / s;
+            let mut big_start = 0usize;
+            let mut pending = 1usize;
+            for j in 0..panels {
+                words += sketch_reduce_words(rows, nnz, s);
+                pending += s;
+                if pending > bs || j == panels - 1 {
+                    words += (big_start + pending) * pending;
+                    big_start += pending;
+                    pending = 0;
+                }
+            }
+        }
     }
     words
 }
@@ -264,6 +369,12 @@ mod tests {
             SchemeKind::BcgsPip2,
             SchemeKind::TwoStage { bs: 60 },
             SchemeKind::TwoStage { bs: 20 },
+            SchemeKind::RandCholQr { rows: 488, nnz: 4 },
+            SchemeKind::TwoStageSketched {
+                bs: 20,
+                rows: 488,
+                nnz: 4,
+            },
         ] {
             let assembled = ortho_cycle_cost(
                 scheme,
@@ -310,6 +421,19 @@ mod tests {
             (
                 OrthoKind::TwoStage { big_panel: 10 },
                 SchemeKind::TwoStage { bs: 10 },
+            ),
+            (
+                OrthoKind::RandCholQr,
+                // rows = rows_per_col (8, default) · total_cols (21).
+                SchemeKind::RandCholQr { rows: 168, nnz: 4 },
+            ),
+            (
+                OrthoKind::TwoStageSketched { big_panel: 10 },
+                SchemeKind::TwoStageSketched {
+                    bs: 10,
+                    rows: 168,
+                    nnz: 4,
+                },
             ),
         ];
         for (kind, scheme) in pairs {

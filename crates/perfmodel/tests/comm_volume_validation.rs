@@ -63,7 +63,7 @@ fn measured_cycle_reduce_words_match_the_analytic_volumes() {
     // compare the measured all-reduced words against ortho_cycle_words
     // (and the counts against ortho_reduce_count, as before).
     let m = 20;
-    let pairs: [(OrthoKind, SchemeKind, usize); 5] = [
+    let pairs: [(OrthoKind, SchemeKind, usize); 7] = [
         (OrthoKind::Cgs2, SchemeKind::StandardCgs2, 1),
         (OrthoKind::Bcgs2CholQr2, SchemeKind::Bcgs2CholQr2, 5),
         (OrthoKind::BcgsPip2, SchemeKind::BcgsPip2, 5),
@@ -75,6 +75,21 @@ fn measured_cycle_reduce_words_match_the_analytic_volumes() {
         (
             OrthoKind::TwoStage { big_panel: 10 },
             SchemeKind::TwoStage { bs: 10 },
+            5,
+        ),
+        (
+            OrthoKind::RandCholQr,
+            // rows = rows_per_col (8, the default) · total_cols (m + 1).
+            SchemeKind::RandCholQr { rows: 168, nnz: 4 },
+            5,
+        ),
+        (
+            OrthoKind::TwoStageSketched { big_panel: 10 },
+            SchemeKind::TwoStageSketched {
+                bs: 10,
+                rows: 168,
+                nnz: 4,
+            },
             5,
         ),
     ];
@@ -106,6 +121,37 @@ fn measured_cycle_reduce_words_match_the_analytic_volumes() {
             ortho_cycle_words(scheme, m, s),
             "{scheme:?} reduce volume"
         );
+    }
+}
+
+#[test]
+fn sketch_closed_form_matches_the_operator_and_the_measured_words() {
+    // The model's sketch_reduce_words must agree with both the realized
+    // operator's own accounting (SketchOp::reduce_words) and the words a
+    // standalone sketched-panel reduce actually moves through CommStats.
+    use distsim::{SketchConfig, SketchOp, SKETCH_NNZ_PER_ROW};
+    let n = 300;
+    let total_cols = 21;
+    let cfg = SketchConfig::default();
+    let op = SketchOp::for_basis(&cfg, n, total_cols);
+    for s in [1usize, 4, 5, 8] {
+        assert_eq!(
+            perfmodel::sketch_reduce_words(op.rows(), SKETCH_NNZ_PER_ROW, s),
+            op.reduce_words(s),
+            "closed form vs operator, s={s}"
+        );
+        let v = test_basis(n, total_cols);
+        let basis = DistMultiVector::from_matrix(SerialComm::new(), v);
+        let before = basis.comm().stats().snapshot();
+        let sv = basis.sketch(&op, 0..s);
+        let delta = basis.comm().stats().snapshot().since(&before);
+        assert_eq!(delta.allreduces, 1, "sketch is one allreduce, s={s}");
+        assert_eq!(
+            delta.allreduce_words,
+            perfmodel::sketch_reduce_words(op.rows(), SKETCH_NNZ_PER_ROW, s),
+            "measured words vs closed form, s={s}"
+        );
+        assert_eq!((sv.nrows(), sv.ncols()), (op.rows(), s));
     }
 }
 

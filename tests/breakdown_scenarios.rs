@@ -34,6 +34,9 @@ const ALL_SCHEMES: &[OrthoKind] = &[
     OrthoKind::BcgsPip,
     OrthoKind::TwoStage { big_panel: 12 },
     OrthoKind::TwoStage { big_panel: 8 },
+    OrthoKind::RandCholQr,
+    OrthoKind::TwoStageSketched { big_panel: 12 },
+    OrthoKind::TwoStageSketched { big_panel: 8 },
     OrthoKind::Cgs2,
     OrthoKind::Mgs,
 ];
@@ -236,6 +239,68 @@ fn solver_reports_or_converges_for_every_scheme_and_policy_on_elasticity_s12() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn auto_with_sketched_ortho_holds_full_step_where_plain_two_stage_halves() {
+    // Monomial basis on a 9-pt Laplacian at s = 10: the panel's condition
+    // number grows exponentially in s, crossing the Cholesky-on-Gram
+    // crossover while the panel stays numerically full rank.  The plain
+    // two-stage first stage records remedial episodes there, so the Auto
+    // controller halves the step; the sketched schemes draw their factor
+    // from the sketch QR instead of the squared Gram, record no episodes,
+    // and hold the full step at the same per-panel reduce count (that
+    // count parity is pinned in `blockortho`'s and `perfmodel`'s tests).
+    let a = laplace2d_9pt(16, 16);
+    let b = rhs_ones(&a);
+    let run = |ortho: SolverOrthoKind| {
+        let solver = SStepGmres::new(GmresConfig {
+            restart: 24,
+            step_size: 10,
+            tol: 1e-8,
+            max_iters: 20_000,
+            ortho,
+            basis: BasisStrategy::Monomial,
+            step_policy: StepPolicy::auto(),
+            ..GmresConfig::default()
+        });
+        solver.solve_serial(&a, &b)
+    };
+    let (x_plain, plain) = run(SolverOrthoKind::TwoStage { big_panel: 24 });
+    assert!(plain.converged, "{plain:?}");
+    let err = x_plain
+        .iter()
+        .map(|v| (v - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    assert!(err < 1e-4, "plain two-stage converged to a wrong answer");
+    assert!(
+        plain.rescues >= 1,
+        "the scenario must force the plain first stage into a rescue: {plain:?}"
+    );
+    for ortho in [
+        SolverOrthoKind::RandCholQr,
+        SolverOrthoKind::TwoStageSketched { big_panel: 24 },
+    ] {
+        let (x, r) = run(ortho);
+        assert!(r.converged, "{ortho:?}: {r:?}");
+        let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+        assert!(
+            err < 1e-4,
+            "{ortho:?}: converged to a wrong answer ({err:.2e})"
+        );
+        assert!(
+            r.rescues < plain.rescues,
+            "{ortho:?}: {} rescues, expected fewer than the plain two-stage's {}",
+            r.rescues,
+            plain.rescues
+        );
+        assert_eq!(r.rescues, 0, "{ortho:?}: expected to hold the full step");
+        assert!(
+            r.step_history.iter().all(|&s| s == 10),
+            "{ortho:?}: step halved anyway: {:?}",
+            r.step_history
+        );
     }
 }
 

@@ -181,6 +181,70 @@ proptest! {
     }
 
     #[test]
+    fn sketched_schemes_keep_o_eps_orthogonality_across_the_full_kappa_bracket(
+        seed in 0u64..1_000,
+        kappa_exp in 1u32..13,
+        s in 3usize..6,
+    ) {
+        // The sketched family's headline property (arXiv 2503.16717): the
+        // panel factor comes from a backward-stable QR of the sketched
+        // panel, so — unlike the CholQR-family kernels, whose Gram
+        // factorization squares κ — the loss of orthogonality stays O(ε)
+        // across the whole κ ∈ [10, 1e12] bracket, glued and log-scaled
+        // alike, without any remedial fallback being required.
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let glued = glued_matrix(
+            &GluedSpec {
+                nrows: 320,
+                panel_cols: s,
+                num_panels: 4,
+                panel_cond: kappa,
+                glue_cond: 10.0,
+            },
+            seed,
+        );
+        let logscaled = logscaled_matrix(400, 4 * s, kappa, seed);
+        for v in [&glued, &logscaled] {
+            for kind in [
+                OrthoKind::RandCholQr,
+                OrthoKind::TwoStageSketched { big_panel: 2 * s },
+            ] {
+                let (q, r) = orthogonalize_matrix(kind, v, s)
+                    .expect("numerically full-rank input must not break down");
+                let err = orthogonality_error(&q.view());
+                prop_assert!(
+                    err < 1e-11,
+                    "{kind:?}: ‖I − QᵀQ‖ = {err:.2e} at κ = {kappa:.1e}"
+                );
+                prop_assert!(reconstructs(&q, &r, v, 1e-7), "{kind:?} at κ = {kappa:.1e}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsketched_single_pass_still_obeys_the_kappa_squared_envelope(
+        seed in 0u64..1_000,
+        kappa_exp in 1u32..8,
+        s in 3usize..6,
+    ) {
+        // Adding the sketched family must not have touched the unsketched
+        // kernels: a single BCGS-PIP pass keeps following the c·ε·κ²
+        // envelope (bound (2)-class behaviour) on log-scaled panels.
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let v = logscaled_matrix(400, s, kappa, seed);
+        let mut basis =
+            distsim::DistMultiVector::from_matrix(distsim::SerialComm::new(), v.clone());
+        if blockortho::kernels::bcgs_pip(&mut basis, 0..0, 0..s).is_ok() {
+            let err = orthogonality_error(&basis.local().cols(0..s));
+            let envelope = (1e3 * f64::EPSILON * kappa * kappa).max(1e-14);
+            prop_assert!(
+                err <= envelope,
+                "single pass: {err:.2e} vs c·ε·κ² = {envelope:.2e} at κ = {kappa:.1e}"
+            );
+        }
+    }
+
+    #[test]
     fn spmv_is_linear(
         seed in 0u64..1_000,
         nx in 4usize..12,
@@ -296,6 +360,55 @@ proptest! {
                 err < 1e-11,
                 "{basis:?} s={s}: two-stage loss of orthogonality {err:.2e} not O(ε)"
             );
+        }
+    }
+
+    #[test]
+    fn sketched_variants_stay_clean_beyond_the_shifted_cholqr_crossover(
+        seed in 0u64..1_000,
+        kappa_exp in 9u32..13,
+    ) {
+        // At κ ≥ 1e9 a log-scaled panel drives the plain two-stage first
+        // stage into its shifted-CholQR remedial path; the sketched
+        // variants must absorb the same panel with zero fallback episodes
+        // at the same per-panel reduce count, still landing at O(ε).
+        use blockortho::make_orthogonalizer;
+        let kappa = 10f64.powi(kappa_exp as i32);
+        let v = logscaled_matrix(400, 8, kappa, seed);
+        let run = |kind: OrthoKind| {
+            let mut basis = distsim::DistMultiVector::from_matrix(
+                distsim::SerialComm::new(),
+                v.clone(),
+            );
+            let mut r = Matrix::zeros(8, 8);
+            let mut scheme = make_orthogonalizer(kind, 8);
+            scheme.orthogonalize_panel(&mut basis, 0..8, &mut r).expect("panel");
+            scheme.finish(&mut basis, &mut r).expect("finish");
+            (
+                orthogonality_error(&basis.local().cols(0..8)),
+                scheme.fallback_count(),
+            )
+        };
+        let (err_plain, episodes_plain) = run(OrthoKind::TwoStage { big_panel: 8 });
+        prop_assert!(err_plain < 1e-11, "the remedy itself must still work");
+        for kind in [
+            OrthoKind::RandCholQr,
+            OrthoKind::TwoStageSketched { big_panel: 8 },
+        ] {
+            let (err, episodes) = run(kind);
+            // Whether the plain Cholesky on the κ²-conditioned Gram
+            // survives at a given κ is seed-dependent; the pinned claim is
+            // the paper's: *where* the plain first stage records remedial
+            // episodes, the sketched variants record strictly fewer (none)
+            // at the same per-panel reduce count — and they stay at O(ε)
+            // unconditionally.
+            if episodes_plain > 0 {
+                prop_assert!(
+                    episodes == 0,
+                    "{kind:?}: {episodes} episodes at κ = {kappa:.1e}, expected none"
+                );
+            }
+            prop_assert!(err < 1e-11, "{kind:?}: {err:.2e} at κ = {kappa:.1e}");
         }
     }
 
