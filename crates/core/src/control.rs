@@ -147,6 +147,14 @@ pub struct CycleHealth {
     pub relres: Option<f64>,
     /// Whether the residual history qualified as stagnated at this cycle.
     pub stagnated: bool,
+    /// Per-column condition estimates of a **block** cycle's interleaved R
+    /// factor (one entry per column active when the cycle started; see
+    /// [`block_r_diag_condition`]).  Empty for single-RHS solves, where
+    /// `kappa_est` is the whole story.  `kappa_est` aggregates these with
+    /// [`active_kappa_max`] over the columns that *survive* the cycle's
+    /// deflation check, so the Auto policy never shrinks or blocks a probe
+    /// on a deflated column's stale conditioning.
+    pub kappa_per_col: Vec<f64>,
     /// Faults the detection guards caught during this cycle (zero when
     /// guards are disabled).
     pub faults_detected: usize,
@@ -215,6 +223,61 @@ pub fn r_diag_condition(r: &Matrix, cols: usize) -> f64 {
         f64::INFINITY
     } else {
         hi / lo
+    }
+}
+
+/// Per-column condition estimates of a **block** cycle's R factor.
+///
+/// The block solver interleaves its `block_width` right-hand-side columns:
+/// column `j` of the block occupies basis columns `j`, `block_width + j`,
+/// `2·block_width + j`, … so its per-column conditioning is the
+/// max/min ratio over exactly those diagonal entries of `R`, scanned over
+/// the leading `blocks` diagonal blocks.  At `block_width = 1` the single
+/// entry is bitwise [`r_diag_condition`]`(r, blocks)`.
+pub fn block_r_diag_condition(r: &Matrix, block_width: usize, blocks: usize) -> Vec<f64> {
+    assert!(block_width >= 1, "block width must be at least 1");
+    let mut out = Vec::with_capacity(block_width);
+    for j in 0..block_width {
+        if blocks == 0 {
+            out.push(f64::INFINITY);
+            continue;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for i in 0..blocks {
+            let d = r[(i * block_width + j, i * block_width + j)].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        out.push(if lo == 0.0 || !lo.is_finite() || !hi.is_finite() {
+            f64::INFINITY
+        } else {
+            hi / lo
+        });
+    }
+    out
+}
+
+/// Aggregate per-column condition estimates into the scalar `kappa_est`
+/// the [`StepController`] acts on: the **max over still-active columns**.
+///
+/// Columns deflated out of the block (converged) are masked out so their
+/// stale conditioning cannot push the Auto policy into a rescue; when no
+/// column remains active (the block just finished), every column's estimate
+/// participates — a column converging *this* cycle is this cycle's honest
+/// data, not stale data.
+pub fn active_kappa_max(per_col: &[f64], active: &[bool]) -> f64 {
+    assert_eq!(per_col.len(), active.len(), "mask length mismatch");
+    let over_active = per_col
+        .iter()
+        .zip(active)
+        .filter(|(_, &a)| a)
+        .map(|(&k, _)| k)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if over_active > f64::NEG_INFINITY {
+        over_active
+    } else {
+        per_col.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -397,6 +460,7 @@ mod tests {
             breakdown: None,
             relres: Some(0.5),
             stagnated,
+            kappa_per_col: Vec::new(),
             faults_detected: 0,
             faults_recovered: 0,
             faults_unrecovered: 0,
@@ -555,6 +619,39 @@ mod tests {
         assert!(!residual_stagnated(&[0.5, 0.4, 0.3, 0.2, 0.1], 4, 0.9));
         // Non-finite residuals count as stagnation.
         assert!(residual_stagnated(&[0.5, 0.5, 0.5, 0.5, f64::NAN], 4, 0.9));
+    }
+
+    #[test]
+    fn block_r_diag_condition_reads_interleaved_columns() {
+        // 2-wide block over 3 diagonal blocks: column 0 owns diagonal
+        // entries 0, 2, 4 and column 1 owns 1, 3, 5.
+        let mut r = Matrix::identity(6);
+        r[(2, 2)] = 1e-3; // block 1, column 0
+        r[(5, 5)] = 1e-6; // block 2, column 1
+        let per_col = block_r_diag_condition(&r, 2, 3);
+        assert_eq!(per_col, vec![1e3, 1e6]);
+        // Width 1 is bitwise the scalar estimate.
+        assert_eq!(
+            block_r_diag_condition(&r, 1, 6),
+            vec![r_diag_condition(&r, 6)]
+        );
+        // Zero blocks: no information, infinite estimate.
+        assert_eq!(
+            block_r_diag_condition(&r, 2, 0),
+            vec![f64::INFINITY, f64::INFINITY]
+        );
+    }
+
+    #[test]
+    fn active_kappa_max_masks_deflated_columns() {
+        // A deflated column's huge stale estimate must not drive rescues.
+        assert_eq!(
+            active_kappa_max(&[1e12, 2.0, 3.0], &[false, true, true]),
+            3.0
+        );
+        assert_eq!(active_kappa_max(&[1e12, 2.0], &[true, true]), 1e12);
+        // All columns finished this cycle: their own data still counts.
+        assert_eq!(active_kappa_max(&[5.0, 7.0], &[false, false]), 7.0);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! From `A·u_c = w_{c+1} + θ_c·u_c` and `W = Q·R` it follows that
 //! `H·t_c = R[:, c+1] + θ_c·t_c`, and since `t_c` is upper triangular with a
 //! nonzero diagonal this determines the Hessenberg columns one at a time.
+//!
+//! **Block generalization.**  With a block right-hand side of `kb` columns
+//! the matrix-powers kernel maps input column `c` to output column `c + kb`
+//! (the columns of one block step are interleaved), so the recurrence
+//! becomes `Hb·t_c = R[:, c + kb] + θ_c·t_c` with `θ_c` indexed by the
+//! *block step* `c / kb`, and `Hb` is band upper-Hessenberg with lower
+//! bandwidth `kb`.  [`HessenbergRecovery::with_block_width`] runs exactly
+//! this recurrence; at `kb = 1` it is bitwise the scalar recovery.
 
 use crate::basis::KrylovBasis;
 use dense::Matrix;
@@ -28,24 +36,46 @@ use dense::Matrix;
 /// Incremental Hessenberg recovery for one restart cycle.
 #[derive(Debug)]
 pub struct HessenbergRecovery {
-    /// `(m+1) × m` Hessenberg matrix being recovered.
+    /// `total_cols × (total_cols − width)` band Hessenberg matrix being
+    /// recovered (`(m+1) × m` in the scalar case).
     h: Matrix,
     /// Number of columns of `h` recovered so far.
     recovered: usize,
     /// Whether basis column `c` had already been handed to the
     /// orthogonalizer when it was used as an MPK input.
     submitted_before_mpk: Vec<bool>,
+    /// Block width `kb` of the right-hand-side block (1 = single RHS).
+    width: usize,
 }
 
 impl HessenbergRecovery {
     /// Create the recovery bookkeeping for a cycle with at most `m`
     /// generated columns (basis of `m+1` columns).
     pub fn new(m: usize) -> Self {
+        Self::with_block_width(m + 1, 1)
+    }
+
+    /// Create the recovery bookkeeping for a **block** cycle: a basis of
+    /// `total_cols` columns built from an initial residual block of
+    /// `width` columns (so at most `total_cols − width` MPK input columns
+    /// exist).  `with_block_width(m + 1, 1)` is exactly [`new`](Self::new).
+    pub fn with_block_width(total_cols: usize, width: usize) -> Self {
+        assert!(width >= 1, "block width must be at least 1");
+        assert!(
+            total_cols > width,
+            "basis must be wider than the residual block"
+        );
         Self {
-            h: Matrix::zeros(m + 1, m),
+            h: Matrix::zeros(total_cols, total_cols - width),
             recovered: 0,
-            submitted_before_mpk: vec![false; m + 1],
+            submitted_before_mpk: vec![false; total_cols],
+            width,
         }
+    }
+
+    /// Block width `kb` this recovery was created with.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Record that column `c` had already been submitted to the
@@ -82,6 +112,7 @@ impl HessenbergRecovery {
         basis: &KrylovBasis,
     ) {
         let mrows = self.h.nrows();
+        let kb = self.width;
         while self.recovered < upto {
             let c = self.recovered;
             // Representation of the MPK input u_c in the final basis.
@@ -100,11 +131,13 @@ impl HessenbergRecovery {
                     *ti = r[(i, c)];
                 }
             }
-            let theta = basis.shift(c);
-            // Numerator: R[:, c+1] + theta * t − Σ_{k<c} H[:,k]·t[k].
+            // Shifts are per *block step*: input column c belongs to block
+            // step c / kb (at kb = 1 this is c itself).
+            let theta = basis.shift(c / kb);
+            // Numerator: R[:, c+kb] + theta * t − Σ_{k<c} H[:,k]·t[k].
             let mut num = vec![0.0; mrows];
-            for i in 0..(c + 2).min(mrows) {
-                num[i] = r[(i, c + 1)];
+            for i in 0..(c + kb + 1).min(mrows) {
+                num[i] = r[(i, c + kb)];
             }
             if theta != 0.0 {
                 for (i, &ti) in t.iter().enumerate() {
@@ -113,7 +146,7 @@ impl HessenbergRecovery {
             }
             for (k, &tk) in t.iter().enumerate().take(c) {
                 if tk != 0.0 {
-                    for (i, entry) in num.iter_mut().enumerate().take((k + 2).min(mrows)) {
+                    for (i, entry) in num.iter_mut().enumerate().take((k + kb + 1).min(mrows)) {
                         *entry -= self.h[(i, k)] * tk;
                     }
                 }
@@ -123,7 +156,7 @@ impl HessenbergRecovery {
                 tc != 0.0,
                 "Hessenberg recovery: zero diagonal coefficient at column {c}"
             );
-            for (i, entry) in num.iter().enumerate().take((c + 2).min(mrows)) {
+            for (i, entry) in num.iter().enumerate().take((c + kb + 1).min(mrows)) {
                 self.h[(i, c)] = entry / tc;
             }
             self.recovered += 1;
@@ -136,6 +169,7 @@ impl HessenbergRecovery {
     /// Returns `(y, residual_estimate)`.
     pub fn least_squares(&self, k: usize, beta: f64) -> (Vec<f64>, f64) {
         assert!(k <= self.recovered, "cannot solve beyond recovered columns");
+        debug_assert_eq!(self.width, 1, "use block_least_squares for width > 1");
         let mut hk = Matrix::zeros(k + 1, k);
         for j in 0..k {
             for i in 0..=(j + 1) {
@@ -143,6 +177,36 @@ impl HessenbergRecovery {
             }
         }
         dense::hessenberg_lsq(&hk, beta)
+    }
+
+    /// Solve the projected block least-squares problem for the first `k`
+    /// recovered columns: per right-hand-side column `q` of `rhs` (each of
+    /// length `k + width`), `min_y ‖rhs[:, q] − Hb_{1:k+width,1:k}·y‖₂`.
+    ///
+    /// The block solver's right-hand sides are the residual block's
+    /// coordinates in the orthonormal basis, `γ_q · S[:, q]` zero-padded
+    /// (with `S` the leading `width × width` block of the R factor) — the
+    /// honest block-GMRES coupling; the scalar path's `β·e₁` convention is
+    /// the `width = 1`, `S = [1]` special case.
+    ///
+    /// Returns `(Y, residual_estimates)` with `Y` of shape `k × rhs.ncols()`.
+    pub fn block_least_squares(&self, k: usize, rhs: &Matrix) -> (Matrix, Vec<f64>) {
+        assert!(k <= self.recovered, "cannot solve beyond recovered columns");
+        assert_eq!(rhs.nrows(), k + self.width, "rhs rows must be k + width");
+        let mut hk = Matrix::zeros(k + self.width, k);
+        for j in 0..k {
+            for i in 0..=(j + self.width).min(k + self.width - 1) {
+                hk[(i, j)] = self.h[(i, j)];
+            }
+        }
+        let mut y = Matrix::zeros(k, rhs.ncols());
+        let mut residuals = Vec::with_capacity(rhs.ncols());
+        for q in 0..rhs.ncols() {
+            let (yq, res) = dense::qr_lsq(&hk, rhs.col(q));
+            y.col_mut(q).copy_from_slice(&yq);
+            residuals.push(res);
+        }
+        (y, residuals)
     }
 }
 
@@ -292,5 +356,97 @@ mod tests {
     fn least_squares_beyond_recovery_panics() {
         let rec = HessenbergRecovery::new(4);
         rec.least_squares(2, 1.0);
+    }
+
+    #[test]
+    fn width_one_recovery_is_bitwise_the_scalar_recovery() {
+        // with_block_width(m + 1, 1) must run the identical recurrence as
+        // new(m): same inputs, same operations, same bits.
+        let m = 7;
+        let mut r = Matrix::zeros(m + 1, m + 1);
+        for j in 0..=m {
+            for i in 0..=j {
+                r[(i, j)] = 1.0 / (1.0 + (2 * i + 3 * j) as f64) + if i == j { 0.5 } else { 0.0 };
+            }
+        }
+        let basis = KrylovBasis::Newton {
+            shifts: vec![1.25, -0.5],
+        };
+        let mut scalar = HessenbergRecovery::new(m);
+        let mut block = HessenbergRecovery::with_block_width(m + 1, 1);
+        assert_eq!(block.width(), 1);
+        for c in [0, 3, 5] {
+            scalar.mark_submitted_input(c);
+            block.mark_submitted_input(c);
+        }
+        scalar.recover_upto(m, &r, None, &basis);
+        block.recover_upto(m, &r, None, &basis);
+        assert_eq!(scalar.matrix().data(), block.matrix().data());
+        // The block least-squares with the scalar convention's rhs (β·e₁)
+        // solves the same projected problem (different factorization path,
+        // so close — the solver keeps the bitwise scalar route at kb = 1).
+        let beta = 2.0;
+        let k = m - 1;
+        let (y_s, res_s) = scalar.least_squares(k, beta);
+        let mut rhs = Matrix::zeros(k + 1, 1);
+        rhs[(0, 0)] = beta;
+        let (y_b, res_b) = block.block_least_squares(k, &rhs);
+        assert!((res_s - res_b[0]).abs() < 1e-12 * (1.0 + res_s.abs()));
+        for (a, b) in y_s.iter().zip(y_b.col(0)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_recovery_matches_dense_reference_at_width_two() {
+        // Width-2 interleaved layout: columns {0, 1} are the residual
+        // block; raw (monomial) MPK maps input column c to column c + 2 via
+        // w_{c+2} = A·w_c.  The recovered band Hessenberg must equal the
+        // dense reference Qᵀ·A·Q on every recovered column.
+        let n = 60;
+        let kb = 2;
+        let steps = 4;
+        let total = kb * (steps + 1); // 10 columns, 8 recovered
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i + 1 == j || j + 1 == i {
+                -0.5
+            } else {
+                0.0
+            }
+        });
+        let mut w = Matrix::zeros(n, total);
+        for i in 0..n {
+            w[(i, 0)] = ((i * 7 % 13) as f64) - 6.0;
+            w[(i, 1)] = ((i * 5 % 11) as f64) - 5.0;
+        }
+        for c in 0..total - kb {
+            let prev = w.col(c).to_vec();
+            let mut next = vec![0.0; n];
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += a[(i, j)] * prev[j];
+                }
+                next[i] = acc;
+            }
+            w.col_mut(c + kb).copy_from_slice(&next);
+        }
+        let (q, r) = dense::householder_qr(&w);
+        let mut rec = HessenbergRecovery::with_block_width(total, kb);
+        rec.recover_upto(total - kb, &r, None, &KrylovBasis::Monomial);
+        let aq = dense::gemm_nn(&a, &q.cols_owned(0..total - kb));
+        let h_ref = dense::gemm_tn(&q.view(), &aq.view());
+        for c in 0..total - kb {
+            for i in 0..(c + kb + 1).min(total) {
+                assert!(
+                    (rec.matrix()[(i, c)] - h_ref[(i, c)]).abs() < 1e-6,
+                    "Hb({i},{c}): {} vs {}",
+                    rec.matrix()[(i, c)],
+                    h_ref[(i, c)]
+                );
+            }
+        }
     }
 }

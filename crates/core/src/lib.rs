@@ -38,19 +38,23 @@
 //! ```
 
 pub mod basis;
+pub mod block;
 pub mod control;
 pub mod hessenberg;
 pub mod precond;
+pub mod service;
 pub mod shifts;
 pub mod solver;
 pub mod timing;
 
 pub use basis::{AdaptiveBasis, BasisStrategy, KrylovBasis};
+pub use block::{BlockOptions, BlockSolveResult};
 pub use control::{AutoStep, CycleHealth, CycleVerdict, StepController, StepDecision, StepPolicy};
 pub use hessenberg::HessenbergRecovery;
 pub use precond::{
     BlockJacobiGaussSeidel, Identity, Jacobi, MulticolorGaussSeidel, Polynomial, Preconditioner,
 };
+pub use service::{BatchConfig, BatchedSolve, BatchedSolver, SolveTicket};
 pub use solver::{standard_gmres_config, GmresConfig, SStepGmres, SolveResult};
 pub use timing::CycleTiming;
 // Fault-injection and detection-guard surface, re-exported so solver users

@@ -414,6 +414,7 @@ impl SStepGmres {
                     s,
                     0,
                     f64::INFINITY,
+                    Vec::new(),
                     ortho.fallback_count(),
                     ortho.fallback_events().to_vec(),
                     Some(msg),
@@ -562,6 +563,7 @@ impl SStepGmres {
                     s,
                     0,
                     control::r_diag_condition(&r_factor, finalized.min(s + 1)),
+                    Vec::new(),
                     cycle_fallbacks,
                     cycle_events,
                     cycle_breakdown.clone(),
@@ -709,6 +711,7 @@ impl SStepGmres {
                 s,
                 k_use,
                 control::r_diag_condition(&r_factor, finalized.min(s + 1)),
+                Vec::new(),
                 cycle_fallbacks,
                 cycle_events,
                 cycle_breakdown.clone(),
@@ -799,12 +802,13 @@ impl SStepGmres {
 /// Non-Auto policies assess with [`control::AutoStep::default`] thresholds
 /// so `health_history` reads the same everywhere.
 #[allow(clippy::too_many_arguments)]
-fn build_health(
+pub(crate) fn build_health(
     policy: &StepPolicy,
     cycle: usize,
     step: usize,
     usable_cols: usize,
     kappa_est: f64,
+    kappa_per_col: Vec<f64>,
     fallbacks: usize,
     fallback_events: Vec<FallbackEvent>,
     breakdown: Option<String>,
@@ -844,6 +848,7 @@ fn build_health(
         breakdown,
         relres,
         stagnated,
+        kappa_per_col,
         verdict,
         faults_detected: faults.detected,
         faults_recovered: faults.recovered,
@@ -853,7 +858,10 @@ fn build_health(
 
 /// Fault-guard activity attributable to the current cycle: the guard's
 /// cumulative counters minus the snapshot taken when the cycle began.
-fn cycle_fault_delta(guard: &Option<Arc<GuardContext>>, base: &GuardCounts) -> GuardCounts {
+pub(crate) fn cycle_fault_delta(
+    guard: &Option<Arc<GuardContext>>,
+    base: &GuardCounts,
+) -> GuardCounts {
     match guard {
         Some(ctx) => {
             let c = ctx.counts();
@@ -874,7 +882,7 @@ fn cycle_fault_delta(guard: &Option<Arc<GuardContext>>, base: &GuardCounts) -> G
 /// that broke (the automated form of the README's warm-up shift oracle).
 /// Adaptive re-harvests on its own and Scheduled must replay verbatim, so
 /// both are left alone; non-Auto policies never activate a rescue.
-fn apply_rescue_basis(
+pub(crate) fn apply_rescue_basis(
     strategy: &BasisStrategy,
     controller: &StepController,
     current_basis: &mut KrylovBasis,
@@ -900,7 +908,7 @@ fn apply_rescue_basis(
 /// `r = b − A·x` on the local blocks.  With an active guard the halo
 /// exchange inside the SpMV is checksummed; a corrupted or lost frame
 /// poisons the residual with NaN so the norm guard downstream trips.
-fn compute_residual(
+pub(crate) fn compute_residual(
     a: &DistCsr,
     x: &[f64],
     b: &[f64],
@@ -915,7 +923,7 @@ fn compute_residual(
 
 /// Global 2-norm of a distributed vector (one single-word all-reduce, or
 /// the guard's duplicated-word reduce when screening is on).
-fn global_norm(
+pub(crate) fn global_norm(
     local: &[f64],
     comm: &dyn distsim::Communicator,
     guard: Option<&GuardContext>,

@@ -19,6 +19,26 @@
 //! | [`columnwise_cgs2`] | 3·s | O(s) column sweeps |
 //! | sketched pre-conditioning (`ortho::sketched`) | 1 (sketch slots only) | 3 (sketch read, update, TRSM) |
 //!
+//! **Block panel widths.**  Every kernel takes an arbitrary column range,
+//! so a block (multi-RHS) solve with `k` right-hand sides simply submits
+//! `k·s`-column panels — the reduce *count* per kernel call is unchanged
+//! while each reduce carries the k-scaled payload (the whole point of
+//! batching: one synchronization serves k columns).  Per panel of a block
+//! cycle with `p = k·(j·s + 1)` previous columns:
+//!
+//! | kernel | reduces | words per reduce (k-wide block) |
+//! |---|---|---|
+//! | [`cholqr`] / [`shifted_cholqr`] | 1 | (k·s)² |
+//! | [`cholqr2`] | 2 | (k·s)² each |
+//! | [`bcgs`] | 1 | p·k·s |
+//! | [`bcgs_pip`] | 1 | (p + k·s)·k·s |
+//! | [`bcgs_pip2_fused`] | 2 | (p + k·s)·k·s each |
+//! | sketched pre-conditioning | 1 | rows·nnz·k·s sketch slots |
+//!
+//! The closed forms live in `perfmodel::block_ortho_cycle_words` and are
+//! pinned against measured `CommStats` for k ∈ {1, 2, 4} by
+//! `crates/perfmodel/tests/comm_volume_validation.rs`.
+//!
 //! The pass savings of [`bcgs_pip2_fused`] hinge on
 //! [`DistMultiVector::update_and_gram`] being a *genuine* single
 //! traversal: `dense::fused_update_proj_gram` applies `W = V − Q·P` and

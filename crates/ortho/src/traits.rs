@@ -186,6 +186,30 @@ pub enum OrthoKind {
 }
 
 impl OrthoKind {
+    /// The same scheme re-parameterized for a **block** solve whose panels
+    /// carry `block_width · s` columns instead of `s`.
+    ///
+    /// Panel-width thresholds expressed in columns must scale with the
+    /// block width so the *panel cadence* — and therefore the reduce count
+    /// per cycle — stays independent of the number of right-hand sides:
+    /// the two-stage schemes flush their big panel every `big_panel`
+    /// accumulated columns, so a k-wide block run flushes every
+    /// `big_panel · k` columns (the same number of *block steps*).  Kinds
+    /// without a column-width threshold are returned unchanged, and
+    /// `for_block_width(1)` is the identity for every kind.
+    pub fn for_block_width(&self, block_width: usize) -> OrthoKind {
+        assert!(block_width >= 1, "block width must be at least 1");
+        match *self {
+            OrthoKind::TwoStage { big_panel } => OrthoKind::TwoStage {
+                big_panel: big_panel * block_width,
+            },
+            OrthoKind::TwoStageSketched { big_panel } => OrthoKind::TwoStageSketched {
+                big_panel: big_panel * block_width,
+            },
+            other => other,
+        }
+    }
+
     /// Short lowercase label used in experiment tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -239,6 +263,29 @@ pub fn make_orthogonalizer_with_sketch(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_width_scaling_preserves_flush_cadence_and_is_identity_at_one() {
+        for kind in [
+            OrthoKind::Bcgs2CholQr2,
+            OrthoKind::BcgsPip2,
+            OrthoKind::TwoStage { big_panel: 20 },
+            OrthoKind::RandCholQr,
+            OrthoKind::TwoStageSketched { big_panel: 10 },
+        ] {
+            assert_eq!(kind.for_block_width(1), kind);
+        }
+        assert_eq!(
+            OrthoKind::TwoStage { big_panel: 20 }.for_block_width(4),
+            OrthoKind::TwoStage { big_panel: 80 }
+        );
+        assert_eq!(
+            OrthoKind::TwoStageSketched { big_panel: 10 }.for_block_width(2),
+            OrthoKind::TwoStageSketched { big_panel: 20 }
+        );
+        // Width-less kinds are untouched.
+        assert_eq!(OrthoKind::BcgsPip2.for_block_width(4), OrthoKind::BcgsPip2);
+    }
 
     #[test]
     fn labels_are_distinct() {

@@ -35,7 +35,7 @@ pub mod solver_cost;
 pub use kernels::KernelCosts;
 pub use machine::MachineModel;
 pub use ortho_cost::{
-    ortho_cycle_cost, ortho_cycle_words, ortho_reduce_count, sketch_reduce_words, OrthoBreakdown,
-    SchemeKind,
+    block_ortho_cycle_words, block_ortho_reduce_count, ortho_cycle_cost, ortho_cycle_words,
+    ortho_reduce_count, sketch_reduce_words, OrthoBreakdown, SchemeKind,
 };
 pub use solver_cost::{solver_time, ProblemSpec, SolverTimes};

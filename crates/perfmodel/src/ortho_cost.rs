@@ -348,6 +348,107 @@ pub fn ortho_cycle_words(scheme: SchemeKind, m: usize, s: usize) -> usize {
     words
 }
 
+/// Number of global reductions one restart cycle of a **block** solve with
+/// `k` right-hand sides needs — the closed form behind the batched-solver
+/// headline.  `m` and `s` stay in block steps (each MPK panel carries
+/// `k·s` columns); `bs` stays in *scalar* columns, matching
+/// `OrthoKind::for_block_width` scaling the flush threshold to `k·bs`.
+///
+/// For every panel-blocked scheme the count is **independent of `k`**:
+/// the panel schedule is `m / s` panels regardless of width, and the
+/// two-stage pending counter starts at `k` and grows by `k·s` per panel,
+/// so `pending > k·bs` fires on exactly the panels the scalar cadence
+/// fires on.  Only column-wise CGS2 scales with `k` (it pays 3 reduces
+/// per *column*, honestly reported here).  At `k = 1` this is exactly
+/// [`ortho_reduce_count`].
+pub fn block_ortho_reduce_count(scheme: SchemeKind, m: usize, s: usize, k: usize) -> usize {
+    assert!(k >= 1, "block width must be at least 1");
+    match scheme {
+        SchemeKind::StandardCgs2 => 3 * k * m,
+        SchemeKind::Bcgs2CholQr2 => 5 * (m / s),
+        SchemeKind::BcgsPip2 => 2 * (m / s),
+        SchemeKind::TwoStage { bs } | SchemeKind::TwoStageSketched { bs, .. } => {
+            m / s + m.div_ceil(bs)
+        }
+        SchemeKind::RandCholQr { .. } => 2 * (m / s),
+    }
+}
+
+/// Total `f64` words all-reduced by one **block** restart cycle — the
+/// volume companion of [`block_ortho_reduce_count`], generalizing
+/// [`ortho_cycle_words`] over the block width: panels are `k·s` columns
+/// against `k·(j·s + 1)` previous columns, the two-stage pending counter
+/// starts at the `k` residual columns, and sketched reduces carry
+/// `rows·nnz·k·s` slot words (`rows` is the realized sketch height,
+/// `rows_per_col · k·(m + 1)`).  While the reduce *count* stays flat in
+/// `k`, the words grow ~`k²` — the latency-vs-bandwidth trade the batched
+/// solver makes, validated against measured `CommStats` for
+/// `k ∈ {1, 2, 4}` in `tests/comm_volume_validation.rs`.  At `k = 1` this
+/// is exactly [`ortho_cycle_words`].
+pub fn block_ortho_cycle_words(scheme: SchemeKind, m: usize, s: usize, k: usize) -> usize {
+    assert!(k >= 1, "block width must be at least 1");
+    let mut words = 0usize;
+    let w = k * s; // panel width in columns
+    match scheme {
+        SchemeKind::StandardCgs2 => {
+            // Column-wise over the k·m generated columns; the k residual
+            // columns are the cycle setup, as in the scalar form.
+            for c in k..k * (m + 1) {
+                words += 2 * c + 1;
+            }
+        }
+        SchemeKind::Bcgs2CholQr2 => {
+            for j in 0..m / s {
+                let p = k * (j * s + 1);
+                words += 2 * p * w + 3 * w * w;
+            }
+        }
+        SchemeKind::BcgsPip2 => {
+            for j in 0..m / s {
+                let p = k * (j * s + 1);
+                words += 2 * (p + w) * w;
+            }
+        }
+        SchemeKind::TwoStage { bs } => {
+            let panels = m / s;
+            let mut big_start = 0usize;
+            let mut pending = k; // the residual block awaits stage 2
+            for j in 0..panels {
+                let p = k * (j * s + 1);
+                words += (p + w) * w;
+                pending += w;
+                if pending > k * bs || j == panels - 1 {
+                    words += (big_start + pending) * pending;
+                    big_start += pending;
+                    pending = 0;
+                }
+            }
+        }
+        SchemeKind::RandCholQr { rows, nnz } => {
+            for j in 0..m / s {
+                let p = k * (j * s + 1);
+                words += sketch_reduce_words(rows, nnz, w);
+                words += (p + w) * w;
+            }
+        }
+        SchemeKind::TwoStageSketched { bs, rows, nnz } => {
+            let panels = m / s;
+            let mut big_start = 0usize;
+            let mut pending = k;
+            for j in 0..panels {
+                words += sketch_reduce_words(rows, nnz, w);
+                pending += w;
+                if pending > k * bs || j == panels - 1 {
+                    words += (big_start + pending) * pending;
+                    big_start += pending;
+                    pending = 0;
+                }
+            }
+        }
+    }
+    words
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +603,78 @@ mod tests {
                 / ortho_cycle_cost(SchemeKind::TwoStage { bs: 60 }, &c, m, 5).total()
         };
         assert!(speedup(32) > speedup(1));
+    }
+
+    #[test]
+    fn block_closed_forms_collapse_to_scalar_at_width_one() {
+        let m = 60;
+        let s = 5;
+        for scheme in [
+            SchemeKind::StandardCgs2,
+            SchemeKind::Bcgs2CholQr2,
+            SchemeKind::BcgsPip2,
+            SchemeKind::TwoStage { bs: 60 },
+            SchemeKind::TwoStage { bs: 20 },
+            SchemeKind::RandCholQr { rows: 488, nnz: 4 },
+            SchemeKind::TwoStageSketched {
+                bs: 20,
+                rows: 488,
+                nnz: 4,
+            },
+        ] {
+            let step = if scheme == SchemeKind::StandardCgs2 {
+                1
+            } else {
+                s
+            };
+            assert_eq!(
+                block_ortho_reduce_count(scheme, m, step, 1),
+                ortho_reduce_count(scheme, m, step),
+                "{scheme:?}: counts"
+            );
+            assert_eq!(
+                block_ortho_cycle_words(scheme, m, step, 1),
+                ortho_cycle_words(scheme, m, step),
+                "{scheme:?}: words"
+            );
+        }
+    }
+
+    #[test]
+    fn block_reduce_count_is_width_independent_for_panel_schemes() {
+        // The batched-solver headline in closed form: the reduce count of
+        // every panel-blocked scheme is flat in k (only column-wise CGS2
+        // pays per column), while the words scale superlinearly.
+        let m = 60;
+        let s = 5;
+        for scheme in [
+            SchemeKind::Bcgs2CholQr2,
+            SchemeKind::BcgsPip2,
+            SchemeKind::TwoStage { bs: 20 },
+            SchemeKind::TwoStageSketched {
+                bs: 20,
+                rows: 488,
+                nnz: 4,
+            },
+        ] {
+            let base = block_ortho_reduce_count(scheme, m, s, 1);
+            for k in [2usize, 4, 8] {
+                assert_eq!(
+                    block_ortho_reduce_count(scheme, m, s, k),
+                    base,
+                    "{scheme:?} at k = {k}"
+                );
+                assert!(
+                    block_ortho_cycle_words(scheme, m, s, k)
+                        >= k * block_ortho_cycle_words(scheme, m, s, 1),
+                    "{scheme:?} at k = {k}: words must grow at least linearly"
+                );
+            }
+        }
+        assert_eq!(
+            block_ortho_reduce_count(SchemeKind::StandardCgs2, m, 1, 4),
+            4 * ortho_reduce_count(SchemeKind::StandardCgs2, m, 1)
+        );
     }
 
     #[test]

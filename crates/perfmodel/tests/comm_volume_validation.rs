@@ -125,6 +125,80 @@ fn measured_cycle_reduce_words_match_the_analytic_volumes() {
 }
 
 #[test]
+fn measured_block_cycle_reduce_words_match_the_analytic_volumes() {
+    // The block generalization of the cycle volumes: a k-wide block cycle
+    // runs k·s-column panels over a k·(m + 1)-column basis (the schedule
+    // `SStepGmres::solve_block` drives, with `OrthoKind::for_block_width`
+    // scaling the two-stage flush threshold).  For k ∈ {1, 2, 4} the
+    // measured reduce counts and words must equal the closed forms —
+    // exactly, not approximately — on both a plain and a sketched scheme,
+    // and the counts must be identical across k.
+    use perfmodel::{block_ortho_cycle_words, block_ortho_reduce_count};
+    let m = 20;
+    let s = 5;
+    for k in [1usize, 2, 4] {
+        let total = k * (m + 1);
+        let v = test_basis(300, total);
+        let pairs: [(OrthoKind, SchemeKind); 4] = [
+            (OrthoKind::BcgsPip2, SchemeKind::BcgsPip2),
+            (
+                OrthoKind::TwoStage { big_panel: 10 }.for_block_width(k),
+                SchemeKind::TwoStage { bs: 10 },
+            ),
+            (
+                OrthoKind::RandCholQr,
+                // rows = rows_per_col (8, the default) · total_cols.
+                SchemeKind::RandCholQr {
+                    rows: 8 * total,
+                    nnz: 4,
+                },
+            ),
+            (
+                OrthoKind::TwoStageSketched { big_panel: 10 }.for_block_width(k),
+                SchemeKind::TwoStageSketched {
+                    bs: 10,
+                    rows: 8 * total,
+                    nnz: 4,
+                },
+            ),
+        ];
+        for (kind, scheme) in pairs {
+            let mut basis = DistMultiVector::from_matrix(SerialComm::new(), v.clone());
+            let mut r = dense::Matrix::zeros(total, total);
+            let mut ortho = make_orthogonalizer(kind, total);
+            // The initial residual block is cycle setup, as in the scalar
+            // validation above.
+            ortho.orthogonalize_panel(&mut basis, 0..k, &mut r).unwrap();
+            let before = basis.comm().stats().snapshot();
+            let mut col = k;
+            while col < total {
+                ortho
+                    .orthogonalize_panel(&mut basis, col..col + k * s, &mut r)
+                    .unwrap();
+                col += k * s;
+            }
+            ortho.finish(&mut basis, &mut r).unwrap();
+            let delta = basis.comm().stats().snapshot().since(&before);
+            assert_eq!(
+                delta.allreduces,
+                block_ortho_reduce_count(scheme, m, s, k),
+                "{scheme:?} k={k} reduce count"
+            );
+            assert_eq!(
+                delta.allreduces,
+                block_ortho_reduce_count(scheme, m, s, 1),
+                "{scheme:?} k={k}: count must be k-independent"
+            );
+            assert_eq!(
+                delta.allreduce_words,
+                block_ortho_cycle_words(scheme, m, s, k),
+                "{scheme:?} k={k} reduce volume"
+            );
+        }
+    }
+}
+
+#[test]
 fn sketch_closed_form_matches_the_operator_and_the_measured_words() {
     // The model's sketch_reduce_words must agree with both the realized
     // operator's own accounting (SketchOp::reduce_words) and the words a
